@@ -1,0 +1,14 @@
+"""Benchmark: Ablation: redundancy-aware estimation.
+
+Runs :mod:`repro.bench.experiments.ablation_estimator` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/ablation_estimator.txt``.
+"""
+
+from repro.bench.experiments import ablation_estimator
+
+from .conftest import run_and_check
+
+
+def test_ablation_estimator(benchmark):
+    run_and_check(benchmark, ablation_estimator.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Ablation: device-side feature caching across micro-batches.
+
+Runs :mod:`repro.bench.experiments.ablation_feature_cache` once and
+asserts its shape; the result table is saved under
+``benchmarks/results/ablation_feature_cache.txt``.
+"""
+
+from repro.bench.experiments import ablation_feature_cache
+
+from .conftest import run_and_check
+
+
+def test_ablation_feature_cache(benchmark):
+    run_and_check(benchmark, ablation_feature_cache.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Ablation: grouping heuristics.
+
+Runs :mod:`repro.bench.experiments.ablation_grouping` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/ablation_grouping.txt``.
+"""
+
+from repro.bench.experiments import ablation_grouping
+
+from .conftest import run_and_check
+
+
+def test_ablation_grouping(benchmark):
+    run_and_check(benchmark, ablation_grouping.run)

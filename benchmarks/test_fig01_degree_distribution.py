@@ -1,0 +1,14 @@
+"""Benchmark: Figure 1: degree-frequency power law of OGBN-products.
+
+Runs :mod:`repro.bench.experiments.fig01` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig01.txt``.
+"""
+
+from repro.bench.experiments import fig01
+
+from .conftest import run_and_check
+
+
+def test_fig01(benchmark):
+    run_and_check(benchmark, fig01.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 2: the full-batch memory wall.
+
+Runs :mod:`repro.bench.experiments.fig02` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig02.txt``.
+"""
+
+from repro.bench.experiments import fig02
+
+from .conftest import run_and_check
+
+
+def test_fig02(benchmark):
+    run_and_check(benchmark, fig02.run)

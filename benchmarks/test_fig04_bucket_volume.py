@@ -1,0 +1,14 @@
+"""Benchmark: Figure 4: bucket explosion; Betty parts still explode.
+
+Runs :mod:`repro.bench.experiments.fig04` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig04.txt``.
+"""
+
+from repro.bench.experiments import fig04
+
+from .conftest import run_and_check
+
+
+def test_fig04(benchmark):
+    run_and_check(benchmark, fig04.run)

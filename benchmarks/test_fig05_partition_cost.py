@@ -1,0 +1,14 @@
+"""Benchmark: Figure 5: online METIS partitioning dominates compute.
+
+Runs :mod:`repro.bench.experiments.fig05` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig05.txt``.
+"""
+
+from repro.bench.experiments import fig05
+
+from .conftest import run_and_check
+
+
+def test_fig05(benchmark):
+    run_and_check(benchmark, fig05.run)

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 6 (artifact): memory timeline of Buffalo's workflow.
+
+Runs :mod:`repro.bench.experiments.fig06` once and asserts its shape;
+the result table is saved under ``benchmarks/results/fig06.txt``.
+"""
+
+from repro.bench.experiments import fig06
+
+from .conftest import run_and_check
+
+
+def test_fig06(benchmark):
+    run_and_check(benchmark, fig06.run)

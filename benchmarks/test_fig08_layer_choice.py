@@ -1,0 +1,14 @@
+"""Benchmark: Figure 8: output-layer vs inner-layer partitioning.
+
+Runs :mod:`repro.bench.experiments.fig08` once and asserts the paper's
+qualitative shape; the result table is saved under
+``benchmarks/results/fig08.txt``.
+"""
+
+from repro.bench.experiments import fig08
+
+from .conftest import run_and_check
+
+
+def test_fig08(benchmark):
+    run_and_check(benchmark, fig08.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 9: a concrete Buffalo schedule.
+
+Runs :mod:`repro.bench.experiments.fig09` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig09.txt``.
+"""
+
+from repro.bench.experiments import fig09
+
+from .conftest import run_and_check
+
+
+def test_fig09(benchmark):
+    run_and_check(benchmark, fig09.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 10: compute-vs-memory Pareto across systems.
+
+Runs :mod:`repro.bench.experiments.fig10` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig10.txt``.
+"""
+
+from repro.bench.experiments import fig10
+
+from .conftest import run_and_check
+
+
+def test_fig10(benchmark):
+    run_and_check(benchmark, fig10.run)

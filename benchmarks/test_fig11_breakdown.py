@@ -1,0 +1,14 @@
+"""Benchmark: Figure 11: end-to-end breakdown, Betty vs Buffalo.
+
+Runs :mod:`repro.bench.experiments.fig11` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig11.txt``.
+"""
+
+from repro.bench.experiments import fig11
+
+from .conftest import run_and_check
+
+
+def test_fig11(benchmark):
+    run_and_check(benchmark, fig11.run)

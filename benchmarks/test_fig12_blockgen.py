@@ -1,0 +1,14 @@
+"""Benchmark: Figure 12: block generation, Buffalo vs Betty.
+
+Runs :mod:`repro.bench.experiments.fig12` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig12.txt``.
+"""
+
+from repro.bench.experiments import fig12
+
+from .conftest import run_and_check
+
+
+def test_fig12(benchmark):
+    run_and_check(benchmark, fig12.run)

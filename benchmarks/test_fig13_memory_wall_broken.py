@@ -1,0 +1,14 @@
+"""Benchmark: Figure 13: Buffalo breaks the Fig 2 wall.
+
+Runs :mod:`repro.bench.experiments.fig13` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig13.txt``.
+"""
+
+from repro.bench.experiments import fig13
+
+from .conftest import run_and_check
+
+
+def test_fig13(benchmark):
+    run_and_check(benchmark, fig13.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 14: micro-batch memory balance.
+
+Runs :mod:`repro.bench.experiments.fig14` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig14.txt``.
+"""
+
+from repro.bench.experiments import fig14
+
+from .conftest import run_and_check
+
+
+def test_fig14(benchmark):
+    run_and_check(benchmark, fig14.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 15: bucket group size vs memory budget.
+
+Runs :mod:`repro.bench.experiments.fig15` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig15.txt``.
+"""
+
+from repro.bench.experiments import fig15
+
+from .conftest import run_and_check
+
+
+def test_fig15(benchmark):
+    run_and_check(benchmark, fig15.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 16: computation efficiency across strategies.
+
+Runs :mod:`repro.bench.experiments.fig16` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig16.txt``.
+"""
+
+from repro.bench.experiments import fig16
+
+from .conftest import run_and_check
+
+
+def test_fig16(benchmark):
+    run_and_check(benchmark, fig16.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 17: batch vs micro-batch convergence.
+
+Runs :mod:`repro.bench.experiments.fig17` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/fig17.txt``.
+"""
+
+from repro.bench.experiments import fig17
+
+from .conftest import run_and_check
+
+
+def test_fig17(benchmark):
+    run_and_check(benchmark, fig17.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Section V-G: multi-GPU scaling.
+
+Runs :mod:`repro.bench.experiments.sec_g` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/sec_g.txt``.
+"""
+
+from repro.bench.experiments import sec_g
+
+from .conftest import run_and_check
+
+
+def test_sec_g(benchmark):
+    run_and_check(benchmark, sec_g.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Table II: dataset characteristics vs paper targets.
+
+Runs :mod:`repro.bench.experiments.tab02` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/tab02.txt``.
+"""
+
+from repro.bench.experiments import tab02
+
+from .conftest import run_and_check
+
+
+def test_tab02(benchmark):
+    run_and_check(benchmark, tab02.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Table III: memory estimation error.
+
+Runs :mod:`repro.bench.experiments.tab03` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/tab03.txt``.
+"""
+
+from repro.bench.experiments import tab03
+
+from .conftest import run_and_check
+
+
+def test_tab03(benchmark):
+    run_and_check(benchmark, tab03.run)

@@ -1,0 +1,14 @@
+"""Benchmark: Table IV: training loss, DGL vs Buffalo.
+
+Runs :mod:`repro.bench.experiments.tab04` once and asserts the paper's
+qualitative shape (DESIGN.md §4); the result table is saved under
+``benchmarks/results/tab04.txt``.
+"""
+
+from repro.bench.experiments import tab04
+
+from .conftest import run_and_check
+
+
+def test_tab04(benchmark):
+    run_and_check(benchmark, tab04.run)

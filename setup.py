@@ -1,0 +1,10 @@
+"""Setup shim: lets ``pip install -e .`` work without the ``wheel`` package.
+
+The environment has setuptools 65 but no ``wheel`` module, so PEP 660
+editable installs fail; this shim enables the legacy ``develop`` path
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

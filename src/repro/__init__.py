@@ -1,0 +1,28 @@
+"""Buffalo reproduction: memory-efficient bucketized GNN training.
+
+A from-scratch Python implementation of *Buffalo: Enabling Large-Scale
+GNN Training via Memory-Efficient Bucketization* (HPCA 2025), including
+every substrate the paper depends on — graphs, autograd, GNN models, a
+simulated GPU, METIS, and the Betty/DGL/PyG baselines — plus a benchmark
+harness regenerating the paper's evaluation.  See README.md and
+docs/API.md.
+
+The most common entry points are re-exported here::
+
+    from repro import BuffaloTrainer, ModelSpec, SimulatedGPU, load
+"""
+
+from repro.core.api import BuffaloTrainer
+from repro.datasets.catalog import load
+from repro.device.device import SimulatedGPU
+from repro.gnn.footprint import ModelSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuffaloTrainer",
+    "ModelSpec",
+    "SimulatedGPU",
+    "load",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Baseline systems the paper compares against.
+
+* :mod:`metis` — a real multilevel k-way graph partitioner (the METIS
+  substrate: heavy-edge-matching coarsening, greedy region-growing
+  initial partition, boundary refinement).
+* :mod:`strategies` — the Random and Range output-node partitioners of
+  Fig. 16.
+* :mod:`reg` — Betty's redundancy-embedded graph construction.
+* :mod:`betty` — the Betty trainer (REG + METIS + connection-check block
+  generation + micro-batch training).
+* :mod:`dgl_like` — DGL-style full-batch bucketed training (no
+  partitioning).
+* :mod:`pyg_like` — PyG-style padded (non-bucketed) training.
+"""
+
+from repro.baselines.metis import WeightedGraph, metis_partition
+from repro.baselines.strategies import random_partition, range_partition
+from repro.baselines.reg import build_reg
+from repro.baselines.betty import BettyTrainer
+from repro.baselines.dgl_like import DGLTrainer
+from repro.baselines.pyg_like import PaddedSAGE, PyGTrainer
+
+__all__ = [
+    "WeightedGraph",
+    "metis_partition",
+    "random_partition",
+    "range_partition",
+    "build_reg",
+    "BettyTrainer",
+    "DGLTrainer",
+    "PyGTrainer",
+    "PaddedSAGE",
+]

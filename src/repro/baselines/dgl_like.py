@@ -1,0 +1,92 @@
+"""DGL-style full-batch training (no partitioning).
+
+DGL trains the whole sampled batch at once with degree-bucketed message
+passing: block generation, one forward/backward, one step.  With no way
+to shrink the working set, it OOMs as soon as the batch's activation
+footprint exceeds the budget — the Fig. 2 / Fig. 10 behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grouping import BucketGroup
+from repro.core.microbatch import MicroBatch
+from repro.core.trainer import MicroBatchTrainer, TrainResult
+from repro.datasets.catalog import Dataset
+from repro.device.device import SimulatedGPU
+from repro.device.profiler import Profiler
+from repro.gnn.block_gen import generate_blocks_baseline
+from repro.gnn.footprint import ModelSpec
+from repro.graph.sampling import sample_batch
+from repro.nn.optim import Adam, Optimizer
+
+
+@dataclass
+class DGLIteration:
+    result: TrainResult
+
+
+class DGLTrainer:
+    """Full-batch bucketed training, the DGL baseline."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        spec: ModelSpec,
+        device: SimulatedGPU | None,
+        fanouts: list[int],
+        *,
+        optimizer: Optimizer | None = None,
+        seed: int = 0,
+    ) -> None:
+        from repro.core.api import build_model
+
+        self.dataset = dataset
+        self.spec = spec
+        self.device = device
+        self.fanouts = list(fanouts)
+        self.seed = seed
+        self.model = build_model(spec, rng=seed)
+        self.optimizer = optimizer or Adam(self.model.parameters(), lr=1e-3)
+        self.trainer = MicroBatchTrainer(
+            self.model, spec, self.optimizer, device
+        )
+        self._iteration = 0
+
+    def run_iteration(self, seeds: np.ndarray | None = None) -> DGLIteration:
+        """One full-batch iteration.
+
+        Raises:
+            DeviceOutOfMemoryError: when the batch exceeds the budget —
+                DGL has no fallback.
+        """
+        profiler = Profiler()
+        if seeds is None:
+            seeds = self.dataset.train_nodes
+        with profiler.phase("sampling"):
+            batch = sample_batch(
+                self.dataset.graph,
+                seeds,
+                self.fanouts,
+                rng=self.seed + self._iteration,
+            )
+        blocks = generate_blocks_baseline(
+            self.dataset.graph, batch, profiler=profiler
+        )
+        micro = MicroBatch(
+            blocks=blocks,
+            seed_rows=np.arange(batch.n_seeds),
+            group=BucketGroup(),
+        )
+        result = self.trainer.train_iteration(
+            self.dataset,
+            batch.node_map,
+            [micro],
+            list(reversed(self.fanouts)),
+            profiler=profiler,
+        )
+        self._iteration += 1
+        return DGLIteration(result=result)

@@ -1,0 +1,158 @@
+"""PyG-style padded full-batch training.
+
+Without degree bucketing, aggregation pads every destination row to the
+block's maximum degree (paper §II-C).  On power-law graphs the hub
+degree sets the padding width, so the gathered tensor is far larger than
+the bucketed equivalent and the OOM wall arrives even earlier than
+DGL's — the Fig. 10 PyG behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trainer import TrainResult
+from repro.datasets.catalog import Dataset
+from repro.device.device import SimulatedGPU
+from repro.device.profiler import Profiler
+from repro.errors import ConvergenceError
+from repro.gnn.block import Block
+from repro.gnn.block_gen import generate_blocks_baseline
+from repro.gnn.footprint import ModelSpec
+from repro.gnn.padding import padded_mean
+from repro.graph.sampling import sample_batch
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.optim import Adam, Optimizer
+from repro.tensor.functional import cross_entropy_with_logits
+from repro.tensor.tensor import Tensor
+
+
+class PaddedSAGE(Module):
+    """GraphSAGE with padded (non-bucketed) mean aggregation."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        n_classes: int,
+        n_layers: int = 2,
+        *,
+        rng=None,
+    ) -> None:
+        self.n_layers = n_layers
+        dims = [in_dim] + [hidden_dim] * (n_layers - 1) + [n_classes]
+        self.self_layers = [
+            Linear(dims[i], dims[i + 1], rng=None if rng is None else rng + i)
+            for i in range(n_layers)
+        ]
+        self.neigh_layers = [
+            Linear(
+                dims[i],
+                dims[i + 1],
+                bias=False,
+                rng=None if rng is None else rng + 100 + i,
+            )
+            for i in range(n_layers)
+        ]
+
+    def forward(self, blocks: list[Block], input_feats: Tensor) -> Tensor:
+        h = input_feats
+        for i, block in enumerate(blocks):
+            aggregated = padded_mean(block, h)
+            h_dst = h[: block.n_dst]
+            out = self.self_layers[i](h_dst) + self.neigh_layers[i](
+                aggregated
+            )
+            h = out.relu() if i < self.n_layers - 1 else out
+        return h
+
+
+@dataclass
+class PyGIteration:
+    result: TrainResult
+
+
+class PyGTrainer:
+    """Full-batch padded training, the PyG baseline."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        spec: ModelSpec,
+        device: SimulatedGPU | None,
+        fanouts: list[int],
+        *,
+        optimizer: Optimizer | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.spec = spec
+        self.device = device
+        self.fanouts = list(fanouts)
+        self.seed = seed
+        self.model = PaddedSAGE(
+            spec.in_dim,
+            spec.hidden_dim,
+            spec.n_classes,
+            spec.n_layers,
+            rng=seed,
+        )
+        if device is not None:
+            self.model.to_device(device)
+        self.optimizer = optimizer or Adam(self.model.parameters(), lr=1e-3)
+        self._iteration = 0
+
+    def run_iteration(self, seeds: np.ndarray | None = None) -> PyGIteration:
+        """One padded full-batch iteration (may raise device OOM)."""
+        profiler = Profiler()
+        if seeds is None:
+            seeds = self.dataset.train_nodes
+        with profiler.phase("sampling"):
+            batch = sample_batch(
+                self.dataset.graph,
+                seeds,
+                self.fanouts,
+                rng=self.seed + self._iteration,
+            )
+        blocks = generate_blocks_baseline(
+            self.dataset.graph, batch, profiler=profiler
+        )
+
+        features = self.dataset.features[
+            batch.node_map[blocks[0].src_nodes]
+        ]
+        if self.device is not None:
+            self.device.reset_peak()
+            profiler.add_sim(
+                "data_loading", self.device.load(features.nbytes)
+            )
+        input_feats = Tensor(features, device=self.device)
+
+        self.model.zero_grad()
+        with profiler.phase("forward_backward_wall"):
+            logits = self.model(blocks, input_feats)
+            labels = self.dataset.labels[
+                batch.node_map[blocks[-1].dst_nodes]
+            ]
+            loss = cross_entropy_with_logits(logits, labels)
+            loss.backward()
+        with profiler.phase("optimizer_step"):
+            self.optimizer.step()
+
+        loss_value = loss.item()
+        if not np.isfinite(loss_value):
+            raise ConvergenceError(f"non-finite loss: {loss_value}")
+        self._iteration += 1
+        return PyGIteration(
+            result=TrainResult(
+                loss=loss_value,
+                peak_bytes=(
+                    self.device.peak_bytes if self.device else 0
+                ),
+                n_micro_batches=1,
+                profiler=profiler,
+            )
+        )

@@ -1,0 +1,45 @@
+"""Random and Range output-node partitioning (paper §V-H, Fig. 16).
+
+Both split the output-node index space evenly into ``k`` parts — Range
+keeps contiguous index runs, Random shuffles first.  Neither considers
+node redundancy, which is why they need more micro-batches than Buffalo
+for the same memory budget (14 vs 12 on OGBN-products in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import rng_from
+from repro.errors import PartitioningError
+
+
+def _check(n_outputs: int, k: int) -> None:
+    if k < 1:
+        raise PartitioningError(f"k must be >= 1, got {k}")
+    if n_outputs < 1:
+        raise PartitioningError("need at least one output node")
+
+
+def range_partition(n_outputs: int, k: int) -> list[np.ndarray]:
+    """Contiguous even split of ``range(n_outputs)`` into ``k`` parts."""
+    _check(n_outputs, k)
+    return [
+        piece
+        for piece in np.array_split(np.arange(n_outputs), k)
+        if piece.size
+    ]
+
+
+def random_partition(
+    n_outputs: int, k: int, seed: int | np.random.Generator | None = None
+) -> list[np.ndarray]:
+    """Shuffled even split of ``range(n_outputs)`` into ``k`` parts."""
+    _check(n_outputs, k)
+    rng = rng_from(seed)
+    order = rng.permutation(n_outputs)
+    return [
+        np.sort(piece)
+        for piece in np.array_split(order, k)
+        if piece.size
+    ]

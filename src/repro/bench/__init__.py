@@ -1,0 +1,29 @@
+"""Benchmark harness reproducing the paper's tables and figures.
+
+Each module in :mod:`repro.bench.experiments` regenerates one table or
+figure (see DESIGN.md §4 for the full index); ``benchmarks/`` contains
+the pytest-benchmark entry points that run them and assert the paper's
+qualitative shape.
+"""
+
+from repro.bench.harness import ExperimentOutput, run_guarded
+from repro.bench.reporting import format_table, series_to_rows
+from repro.bench.workloads import (
+    BENCH_SCALES,
+    budget_bytes,
+    memory_scale,
+    standard_seeds,
+    standard_spec,
+)
+
+__all__ = [
+    "ExperimentOutput",
+    "run_guarded",
+    "format_table",
+    "series_to_rows",
+    "BENCH_SCALES",
+    "budget_bytes",
+    "memory_scale",
+    "standard_seeds",
+    "standard_spec",
+]

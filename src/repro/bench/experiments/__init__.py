@@ -1,0 +1,1 @@
+"""One module per reproduced table/figure (DESIGN.md §4)."""

@@ -1,0 +1,124 @@
+"""Ablation: redundancy-aware (Eq. 2) vs naive linear-sum estimation.
+
+The paper motivates Eq. 1–2 with the non-linear memory behaviour of
+merged buckets (two halves of an arxiv batch cost 25–60% more than half
+the whole).  This ablation measures, per bucket group:
+
+* the input-node redundancy — how much larger the sum of the members'
+  dependency sets is than their union;
+* the memory non-linearity — the naive linear-sum estimate vs the exact
+  merged-dependency memory;
+* the Eq. 2 estimate's error vs the naive one.
+
+Scale note (recorded in EXPERIMENTS.md): at repro scale the measured
+input redundancy is large (~40–70%), but LSTM activations — which do
+not dedupe across outputs — dominate memory, so the total non-linearity
+is a few percent rather than the paper's tens of percent, and Eq. 1's
+ratio ``I/(O*D*C)`` stays above 1 (no discount).  The shape checks
+assert what the substrate genuinely exhibits: real redundancy, real
+(small) non-linearity, and Eq. 2 never doing worse than the naive sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.experiments.common import prepare_batch
+from repro.bench.harness import ExperimentOutput
+from repro.bench.reporting import format_table
+from repro.bench.workloads import load_bench, standard_spec
+from repro.core.estimator import BucketMemEstimator, redundancy_group_estimate
+from repro.core.grouping import exact_group_bytes, mem_balanced_grouping
+from repro.core.splitting import split_explosion_bucket
+from repro.gnn.bucketing import Bucket, bucketize_degrees, detect_explosion
+
+
+def run(
+    *,
+    scale: float | None = None,
+    seed: int = 0,
+    n_seeds: int = 400,
+    k: int = 3,
+) -> ExperimentOutput:
+    rows = []
+    data: dict[str, dict] = {}
+    checks: dict[str, bool] = {}
+    for name in ("reddit", "ogbn_products"):
+        dataset = load_bench(name, scale=scale, seed=seed)
+        prepared = prepare_batch(dataset, [10, 25], n_seeds=n_seeds, seed=seed)
+        spec = standard_spec(dataset, aggregator="lstm", hidden=64)
+        clustering = dataset.stats(clustering_sample=500)["avg_clustering"]
+        estimator = BucketMemEstimator(prepared.blocks, spec, clustering)
+        buckets = bucketize_degrees(prepared.blocks[-1].degrees, 10)
+        # On these graphs nearly every seed lands in the cut-off bucket;
+        # split it so groups actually merge multiple buckets.
+        explosion = detect_explosion(buckets, 10)
+        if explosion is not None:
+            buckets = [b for b in buckets if b is not explosion]
+            buckets.extend(split_explosion_bucket(explosion, 3 * k))
+        _, groups = mem_balanced_grouping(buckets, k, float("inf"), estimator)
+
+        redundancies = []
+        naive_ratios = []
+        aware_errors = []
+        naive_errors = []
+        for group in groups:
+            if len(group.buckets) < 2:
+                continue
+            exact = exact_group_bytes(estimator, group)
+            naive = sum(estimator.estimate(b) for b in group.buckets)
+            aware = redundancy_group_estimate(estimator, group.buckets)
+            sum_inputs = sum(
+                estimator.profile(b).n_input for b in group.buckets
+            )
+            merged_inputs = estimator.profile(
+                Bucket(degree=0, rows=group.rows)
+            ).n_input
+            redundancies.append(sum_inputs / merged_inputs - 1.0)
+            naive_ratios.append(naive / exact - 1.0)
+            naive_errors.append(abs(naive - exact) / exact)
+            aware_errors.append(abs(aware - exact) / exact)
+
+        redundancy = float(np.mean(redundancies))
+        nonlinearity = float(np.mean(naive_ratios))
+        naive_err = float(np.mean(naive_errors))
+        aware_err = float(np.mean(aware_errors))
+        rows.append(
+            [
+                name,
+                clustering,
+                redundancy * 100,
+                nonlinearity * 100,
+                naive_err * 100,
+                aware_err * 100,
+            ]
+        )
+        data[name] = {
+            "clustering": clustering,
+            "input_redundancy": redundancy,
+            "memory_nonlinearity": nonlinearity,
+            "naive_error": naive_err,
+            "aware_error": aware_err,
+        }
+        checks[f"{name}_input_redundancy_real"] = redundancy > 0.2
+        checks[f"{name}_naive_sum_overestimates"] = nonlinearity > 0.01
+        checks[f"{name}_aware_not_worse"] = aware_err <= naive_err + 1e-9
+
+    table = format_table(
+        [
+            "dataset",
+            "clustering C",
+            "input redundancy %",
+            "naive overshoot %",
+            "naive err %",
+            "Eq.2 err %",
+        ],
+        rows,
+        title="Ablation — naive linear-sum vs redundancy-aware estimation",
+    )
+    return ExperimentOutput(
+        name="ablation_estimator",
+        table=table,
+        data=data,
+        shape_checks=checks,
+    )

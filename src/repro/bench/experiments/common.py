@@ -1,0 +1,216 @@
+"""Shared building blocks for the experiment modules.
+
+Clock convention (DESIGN.md §5): CPU phases (sampling, scheduling,
+REG/METIS, block generation) are *measured* wall-clock; data loading and
+GPU compute are *simulated* by the calibrated cost model.  End-to-end
+iteration time is their sum, as in the paper's end-to-end figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.metis import metis_partition
+from repro.baselines.reg import build_reg
+from repro.core.fastblock import generate_blocks_fast
+from repro.core.scheduler import BuffaloScheduler, SchedulePlan
+from repro.core.symbolic import SymbolicTrainer
+from repro.datasets.catalog import Dataset
+from repro.device.device import SimulatedGPU
+from repro.device.profiler import Profiler
+from repro.gnn.block import Block
+from repro.gnn.block_gen import generate_blocks_baseline
+from repro.gnn.footprint import ModelSpec
+from repro.graph.sampling import SampledBatch, sample_batch
+
+
+@dataclass
+class PreparedBatch:
+    """A sampled batch with its blocks, ready for planning."""
+
+    dataset: Dataset
+    batch: SampledBatch
+    blocks: list[Block]
+    fanouts: list[int]
+
+
+def prepare_batch(
+    dataset: Dataset,
+    fanouts: list[int],
+    *,
+    n_seeds: int | None = None,
+    seed: int = 0,
+) -> PreparedBatch:
+    """Sample a training batch and build its blocks (fast path).
+
+    Seeds are a *random* subset of the train split (a prefix of the
+    sorted split would bias batches toward the oldest, hub-heavy nodes
+    of preferential-attachment graphs).
+    """
+    seeds = dataset.train_nodes
+    if n_seeds is not None and n_seeds < seeds.size:
+        rng = np.random.default_rng(seed + 1000)
+        seeds = np.sort(rng.choice(seeds, size=n_seeds, replace=False))
+    batch = sample_batch(dataset.graph, seeds, fanouts, rng=seed)
+    blocks = generate_blocks_fast(batch)
+    return PreparedBatch(dataset, batch, blocks, list(fanouts))
+
+
+@dataclass
+class IterationMeasurement:
+    """One system's measured iteration on one prepared batch."""
+
+    system: str
+    status: str  # ok | OOM | unsupported
+    peak_bytes: int = 0
+    end_to_end_s: float = 0.0
+    n_micro_batches: int = 0
+    breakdown: dict[str, float] | None = None
+
+
+def buffalo_iteration(
+    prepared: PreparedBatch,
+    spec: ModelSpec,
+    budget_bytes: int,
+    *,
+    clustering: float | None = None,
+    k_max: int = 256,
+) -> tuple[IterationMeasurement, SchedulePlan]:
+    """Schedule + micro-batch + symbolically train one Buffalo iteration."""
+    from repro.core.microbatch import generate_micro_batches
+    from repro.errors import DeviceOutOfMemoryError, SchedulingError
+
+    dataset, batch, blocks = prepared.dataset, prepared.batch, prepared.blocks
+    if clustering is None:
+        clustering = dataset.stats(clustering_sample=500)["avg_clustering"]
+    profiler = Profiler()
+    device = SimulatedGPU(capacity_bytes=budget_bytes)
+
+    scheduler = BuffaloScheduler(
+        spec,
+        0.9 * budget_bytes,
+        cutoff=prepared.fanouts[0],
+        clustering_coefficient=clustering,
+        k_max=k_max,
+    )
+    try:
+        with profiler.phase("buffalo_scheduling"):
+            plan = scheduler.schedule(batch, blocks)
+        with profiler.phase("block_construction"):
+            micro_batches = generate_micro_batches(batch, plan)
+        trainer = SymbolicTrainer(spec, device)
+        result = trainer.iterate(
+            [mb.blocks for mb in micro_batches], profiler=profiler
+        )
+    except (DeviceOutOfMemoryError, SchedulingError):
+        return (
+            IterationMeasurement(system="Buffalo", status="OOM"),
+            None,
+        )
+    return (
+        IterationMeasurement(
+            system="Buffalo",
+            status="ok",
+            peak_bytes=result.peak_bytes,
+            end_to_end_s=profiler.total_s(),
+            n_micro_batches=plan.k,
+            breakdown=profiler.breakdown(),
+        ),
+        plan,
+    )
+
+
+def betty_iteration(
+    prepared: PreparedBatch,
+    spec: ModelSpec,
+    budget_bytes: int,
+    n_micro_batches: int,
+    *,
+    seed: int = 0,
+    max_attempts: int = 4,
+) -> IterationMeasurement:
+    """REG + METIS + slow block gen + symbolic training (Betty).
+
+    Betty balances *node counts*, not memory, so a part can exceed the
+    budget; like the real system it then retries with more partitions
+    (``k`` grows 1.5x per attempt, up to ``max_attempts``) — all retries
+    are charged to the iteration, as they would be in an online setting.
+    """
+    from repro.errors import DeviceOutOfMemoryError, PartitioningError
+
+    dataset, batch = prepared.dataset, prepared.batch
+    profiler = Profiler()
+    try:
+        batch_blocks = generate_blocks_baseline(
+            dataset.graph, batch, profiler=profiler
+        )
+        with profiler.phase("reg_construction"):
+            reg = build_reg(batch_blocks, seed=seed)
+    except PartitioningError:
+        return IterationMeasurement(system="Betty", status="unsupported")
+
+    k = n_micro_batches
+    for attempt in range(max_attempts):
+        device = SimulatedGPU(capacity_bytes=budget_bytes)
+        try:
+            with profiler.phase("metis_partition"):
+                parts = metis_partition(reg, k, seed=seed)
+            chains = []
+            for part in range(k):
+                rows = np.flatnonzero(parts == part).astype(np.int64)
+                if rows.size == 0:
+                    continue
+                chains.append(
+                    generate_blocks_baseline(
+                        dataset.graph, batch, rows, profiler=profiler
+                    )
+                )
+            trainer = SymbolicTrainer(spec, device)
+            result = trainer.iterate(chains, profiler=profiler)
+        except DeviceOutOfMemoryError:
+            k = max(k + 1, int(k * 1.5))
+            continue
+        except PartitioningError:
+            return IterationMeasurement(system="Betty", status="unsupported")
+        return IterationMeasurement(
+            system="Betty",
+            status="ok",
+            peak_bytes=result.peak_bytes,
+            end_to_end_s=profiler.total_s(),
+            n_micro_batches=len(chains),
+            breakdown=profiler.breakdown(),
+        )
+    return IterationMeasurement(system="Betty", status="OOM")
+
+
+def full_batch_iteration(
+    prepared: PreparedBatch,
+    spec: ModelSpec,
+    budget_bytes: int,
+    *,
+    system: str = "DGL",
+    padded: bool = False,
+) -> IterationMeasurement:
+    """One full-batch iteration (DGL bucketed / PyG padded), symbolic."""
+    from repro.errors import DeviceOutOfMemoryError
+
+    profiler = Profiler()
+    device = SimulatedGPU(capacity_bytes=budget_bytes)
+    try:
+        blocks = generate_blocks_baseline(
+            prepared.dataset.graph, prepared.batch, profiler=profiler
+        )
+        trainer = SymbolicTrainer(spec, device, padded=padded)
+        result = trainer.iterate([blocks], profiler=profiler)
+    except DeviceOutOfMemoryError:
+        return IterationMeasurement(system=system, status="OOM")
+    return IterationMeasurement(
+        system=system,
+        status="ok",
+        peak_bytes=result.peak_bytes,
+        end_to_end_s=profiler.total_s(),
+        n_micro_batches=1,
+        breakdown=profiler.breakdown(),
+    )

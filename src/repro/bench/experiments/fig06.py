@@ -1,0 +1,82 @@
+"""Figure 6 (artifact): device-memory timeline through Buffalo's workflow.
+
+The paper's artifact replicates "the estimate of memory consumption
+during the workflow of Buffalo" — this experiment traces the concrete
+device ledger through one training iteration: parameters resident, each
+micro-batch's load → forward/backward peak → release, and the return to
+baseline between micro-batches (the memory-release property that
+output-layer partitioning enables, §IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import ExperimentOutput
+from repro.bench.reporting import format_table
+from repro.bench.workloads import budget_bytes, load_bench
+from repro.core import BuffaloTrainer
+from repro.device.device import SimulatedGPU
+from repro.gnn.footprint import ModelSpec
+
+
+def run(
+    *,
+    scale: float | None = None,
+    seed: int = 0,
+    n_seeds: int = 500,
+    paper_budget_gb: float = 24.0,
+) -> ExperimentOutput:
+    dataset = load_bench("ogbn_arxiv", scale=scale, seed=seed)
+    budget = budget_bytes(dataset, paper_budget_gb)
+    spec = ModelSpec(dataset.feat_dim, 128, dataset.n_classes, 2, "lstm")
+    device = SimulatedGPU(capacity_bytes=budget)
+    trainer = BuffaloTrainer(
+        dataset, spec, device, fanouts=[10, 25], seed=seed
+    )
+    params_resident = device.live_bytes
+
+    rng = np.random.default_rng(seed + 1000)
+    seeds = np.sort(
+        rng.choice(
+            dataset.train_nodes,
+            size=min(n_seeds, dataset.train_nodes.size),
+            replace=False,
+        )
+    )
+    report = trainer.run_iteration(seeds)
+    residual_after = device.live_bytes
+    peaks = report.result.micro_batch_peaks
+
+    rows = [["parameters resident", params_resident / 2**20]]
+    for i, peak in enumerate(peaks):
+        rows.append([f"micro-batch {i} peak", peak / 2**20])
+    rows.append(["after iteration (released)", residual_after / 2**20])
+    rows.append(["budget", budget / 2**20])
+
+    checks = {
+        "multiple_micro_batches": len(peaks) >= 2,
+        "memory_released_between_micro_batches": residual_after
+        <= 3.0 * params_resident + 2**20,
+        "every_micro_batch_within_budget": all(p <= budget for p in peaks),
+        "peaks_dwarf_resident_params": max(peaks) > 5 * params_resident,
+    }
+    table = format_table(
+        ["workflow point", "MiB"],
+        rows,
+        title=(
+            f"Fig 6 — device-memory timeline (K={report.n_micro_batches}, "
+            "ogbn_arxiv, GraphSAGE-LSTM)"
+        ),
+    )
+    return ExperimentOutput(
+        name="fig06",
+        table=table,
+        data={
+            "params_mib": params_resident / 2**20,
+            "peaks_mib": [p / 2**20 for p in peaks],
+            "residual_mib": residual_after / 2**20,
+            "k": report.n_micro_batches,
+        },
+        shape_checks=checks,
+    )

@@ -1,0 +1,128 @@
+"""Figure 11: end-to-end execution breakdown, Betty vs Buffalo.
+
+Per dataset, decomposes one training iteration into the paper's phases:
+Buffalo scheduling / REG construction / METIS partition / connection
+check / block construction / data loading / GPU training.  Headlines to
+reproduce: REG + METIS consume ~47% of Betty's iteration on average,
+Buffalo's scheduling is a small fraction of its own iteration, the
+average end-to-end reduction is large (paper: 70.9%), and Betty cannot
+process OGBN-papers.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.common import (
+    betty_iteration,
+    buffalo_iteration,
+    prepare_batch,
+)
+from repro.bench.harness import ExperimentOutput
+from repro.bench.reporting import format_table
+from repro.bench.workloads import budget_bytes, load_bench, standard_spec
+
+DATASETS = (
+    "cora",
+    "pubmed",
+    "reddit",
+    "ogbn_arxiv",
+    "ogbn_products",
+    "ogbn_papers",
+)
+
+PHASES = (
+    "buffalo_scheduling",
+    "reg_construction",
+    "metis_partition",
+    "connection_check",
+    "block_construction",
+    "data_loading",
+    "gpu_compute",
+)
+
+
+def run(
+    *,
+    scale: float | None = None,
+    seed: int = 0,
+    n_seeds: int = 600,
+    paper_budget_gb: float = 24.0,
+) -> ExperimentOutput:
+    rows = []
+    data: dict[str, dict] = {}
+    for name in DATASETS:
+        dataset = load_bench(name, scale=scale, seed=seed)
+        budget = budget_bytes(dataset, paper_budget_gb)
+        prepared = prepare_batch(dataset, [10, 25], n_seeds=n_seeds, seed=seed)
+        spec = standard_spec(dataset, aggregator="lstm", hidden=128)
+
+        buffalo, _ = buffalo_iteration(prepared, spec, budget)
+        betty = betty_iteration(
+            prepared, spec, budget, max(buffalo.n_micro_batches, 2), seed=seed
+        )
+
+        for m in (betty, buffalo):
+            breakdown = m.breakdown or {}
+            rows.append(
+                [name, m.system, m.status]
+                + [breakdown.get(p, 0.0) for p in PHASES]
+                + [m.end_to_end_s]
+            )
+        data[name] = {
+            "Betty": {
+                "status": betty.status,
+                "total_s": betty.end_to_end_s,
+                "breakdown": betty.breakdown,
+            },
+            "Buffalo": {
+                "status": buffalo.status,
+                "total_s": buffalo.end_to_end_s,
+                "breakdown": buffalo.breakdown,
+            },
+        }
+
+    checks: dict[str, bool] = {}
+    reductions = []
+    reg_metis_shares = []
+    for name in DATASETS:
+        betty_d = data[name]["Betty"]
+        buffalo_d = data[name]["Buffalo"]
+        checks[f"{name}_buffalo_completes"] = buffalo_d["status"] == "ok"
+        if name == "ogbn_papers":
+            checks["papers_betty_unsupported"] = (
+                betty_d["status"] == "unsupported"
+            )
+            continue
+        if betty_d["status"] != "ok" or buffalo_d["status"] != "ok":
+            continue
+        reductions.append(1 - buffalo_d["total_s"] / betty_d["total_s"])
+        bd = betty_d["breakdown"]
+        reg_metis_shares.append(
+            (bd.get("reg_construction", 0) + bd.get("metis_partition", 0))
+            / betty_d["total_s"]
+        )
+        sched_share = buffalo_d["breakdown"].get(
+            "buffalo_scheduling", 0
+        ) / max(buffalo_d["total_s"], 1e-12)
+        checks[f"{name}_scheduling_not_dominant"] = sched_share <= 0.9
+
+    avg_reduction = sum(reductions) / len(reductions)
+    avg_reg_share = sum(reg_metis_shares) / len(reg_metis_shares)
+    data["avg_time_reduction"] = avg_reduction
+    data["avg_reg_metis_share_of_betty"] = avg_reg_share
+    checks["avg_reduction_at_least_40pct"] = avg_reduction >= 0.40
+    checks["reg_metis_is_major_betty_cost"] = avg_reg_share >= 0.25
+
+    table = format_table(
+        ["dataset", "system", "status"]
+        + [p.replace("_", " ") for p in PHASES]
+        + ["total s"],
+        rows,
+        title=(
+            "Fig 11 — per-iteration breakdown (s); avg Buffalo reduction "
+            f"{avg_reduction * 100:.1f}%, REG+METIS = "
+            f"{avg_reg_share * 100:.1f}% of Betty"
+        ),
+    )
+    return ExperimentOutput(
+        name="fig11", table=table, data=data, shape_checks=checks
+    )

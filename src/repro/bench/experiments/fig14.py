@@ -1,0 +1,91 @@
+"""Figure 14: memory load balance across Buffalo's micro-batches.
+
+Measures the per-micro-batch memory (symbolic working set, same ledger
+as the OOM experiments) after Buffalo scheduling on OGBN-arxiv,
+OGBN-products, and OGBN-papers.  The paper reports a spread of only
+4–6% across micro-batches.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.common import prepare_batch
+from repro.bench.harness import ExperimentOutput
+from repro.bench.reporting import format_table
+from repro.bench.workloads import load_bench, standard_spec
+from repro.core.microbatch import generate_micro_batches
+from repro.core.symbolic import SymbolicTrainer
+from repro.device.device import SimulatedGPU
+
+#: dataset -> the paper's micro-batch count in Fig. 14.
+PAPER_K = {"ogbn_arxiv": 4, "ogbn_products": 12, "ogbn_papers": 8}
+
+
+def run(
+    *,
+    scale: float | None = None,
+    seed: int = 0,
+    n_seeds: int = 600,
+) -> ExperimentOutput:
+    from repro.core.scheduler import BuffaloScheduler
+
+    rows = []
+    data: dict[str, dict] = {}
+    checks: dict[str, bool] = {}
+    for name, k_target in PAPER_K.items():
+        dataset = load_bench(name, scale=scale, seed=seed)
+        prepared = prepare_batch(dataset, [10, 25], n_seeds=n_seeds, seed=seed)
+        spec = standard_spec(dataset, aggregator="lstm", hidden=128)
+        clustering = dataset.stats(clustering_sample=500)["avg_clustering"]
+
+        # Budget chosen to land at the paper's micro-batch count: the
+        # figure reports balance *given* K = 4 / 12 / 8.
+        probe = BuffaloScheduler(
+            spec, float("inf"), cutoff=10, clustering_coefficient=clustering
+        )
+        total = sum(
+            probe.schedule(prepared.batch, prepared.blocks).estimated_bytes
+        )
+        scheduler = BuffaloScheduler(
+            spec,
+            1.15 * total / k_target,
+            cutoff=10,
+            clustering_coefficient=clustering,
+        )
+        plan = scheduler.schedule(prepared.batch, prepared.blocks)
+        checks[f"{name}_schedules"] = True
+
+        micro_batches = generate_micro_batches(prepared.batch, plan)
+        peaks = []
+        for mb in micro_batches:
+            device = SimulatedGPU(capacity_bytes=10**15)
+            result = SymbolicTrainer(spec, device).iterate([mb.blocks])
+            peaks.append(result.peak_bytes)
+        mean_peak = sum(peaks) / len(peaks)
+        spread = (max(peaks) - min(peaks)) / mean_peak
+        rows.append(
+            [
+                name,
+                plan.k,
+                min(peaks) / 2**20,
+                mean_peak / 2**20,
+                max(peaks) / 2**20,
+                spread * 100,
+            ]
+        )
+        data[name] = {
+            "k": plan.k,
+            "peaks_mib": [p / 2**20 for p in peaks],
+            "spread": spread,
+        }
+        # Paper: 4-6% spread; we allow up to 25% (smaller graphs mean
+        # fewer buckets to balance with).
+        checks[f"{name}_balanced_within_25pct"] = spread <= 0.25
+
+    table = format_table(
+        ["dataset", "K", "min MiB", "mean MiB", "max MiB", "spread %"],
+        rows,
+        title="Fig 14 — per-micro-batch memory after Buffalo scheduling",
+    )
+    return ExperimentOutput(
+        name="fig14", table=table, data=data, shape_checks=checks
+    )

@@ -1,0 +1,90 @@
+"""Figure 15: bucket group size vs memory budget (16/24/48/80 GB).
+
+On OGBN-products with 2-layer GraphSAGE-LSTM (A100-class device in the
+paper), sweeping the budget: larger budgets allow larger bucket groups,
+hence fewer micro-batches and shorter end-to-end iterations (paper data
+points: 18/12/4/2 micro-batches).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.common import buffalo_iteration, prepare_batch
+from repro.bench.harness import ExperimentOutput
+from repro.bench.reporting import format_table
+from repro.bench.workloads import budget_bytes, load_bench, standard_spec
+
+BUDGETS_GB = (16.0, 24.0, 48.0, 80.0)
+
+
+def run(
+    *,
+    scale: float | None = None,
+    seed: int = 0,
+    n_seeds: int = 400,
+) -> ExperimentOutput:
+    dataset = load_bench("ogbn_products", scale=scale, seed=seed)
+    prepared = prepare_batch(dataset, [10, 25], n_seeds=n_seeds, seed=seed)
+    spec = standard_spec(dataset, aggregator="lstm", hidden=128)
+    clustering = dataset.stats(clustering_sample=500)["avg_clustering"]
+
+    rows = []
+    data: dict[float, dict] = {}
+    for gb in BUDGETS_GB:
+        budget = budget_bytes(dataset, gb)
+        measurement, plan = buffalo_iteration(
+            prepared, spec, budget, clustering=clustering
+        )
+        rows.append(
+            [
+                gb,
+                budget / 2**20,
+                measurement.status,
+                measurement.n_micro_batches or "-",
+                (
+                    measurement.peak_bytes / 2**20
+                    if measurement.status == "ok"
+                    else "-"
+                ),
+                measurement.end_to_end_s,
+            ]
+        )
+        breakdown = measurement.breakdown or {}
+        data[gb] = {
+            "status": measurement.status,
+            "k": measurement.n_micro_batches,
+            "peak_mib": measurement.peak_bytes / 2**20,
+            "time_s": measurement.end_to_end_s,
+            # Deterministic (simulated) share: duplicated feature loads
+            # and kernel work shrink as groups get larger.
+            "sim_s": breakdown.get("data_loading", 0.0)
+            + breakdown.get("gpu_compute", 0.0),
+        }
+
+    ks = [data[gb]["k"] for gb in BUDGETS_GB]
+    sims = [data[gb]["sim_s"] for gb in BUDGETS_GB]
+    checks = {
+        "all_budgets_schedule": all(
+            data[gb]["status"] == "ok" for gb in BUDGETS_GB
+        ),
+        "micro_batches_decrease_with_budget": all(
+            ks[i] >= ks[i + 1] for i in range(len(ks) - 1)
+        )
+        and ks[0] > ks[-1],
+        # Fewer groups -> less duplicated loading/compute.  End-to-end
+        # wall time is reported but not asserted (scheduler wall jitter
+        # at CPU scale exceeds the simulated-time differences).
+        "duplicated_work_decreases_with_budget": sims[0] > sims[-1],
+        # The absolute K sits higher than the paper's 18/12/4/2 because
+        # the capped budget mapping leaves a larger batch:budget ratio at
+        # repro scale (EXPERIMENTS.md); the shrink from 16GB to 80GB
+        # is the shape that must hold.
+        "k_shrinks_at_least_4x": ks[-1] * 4 <= ks[0],
+    }
+    table = format_table(
+        ["paper GB", "budget MiB", "status", "K", "peak MiB", "iter s"],
+        rows,
+        title="Fig 15 — bucket group size vs memory budget (ogbn_products)",
+    )
+    return ExperimentOutput(
+        name="fig15", table=table, data=data, shape_checks=checks
+    )

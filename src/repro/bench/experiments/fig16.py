@@ -1,0 +1,236 @@
+"""Figure 16: computation efficiency across partitioning strategies.
+
+Computation efficiency = total nodes across all micro-batches divided by
+the end-to-end iteration time.  As in the paper, every strategy is
+evaluated at a *given* micro-batch count (the paper sweeps it on the
+x-axis and reports that the four baselines stay flat while Buffalo sits
+~36% above the best of them):
+
+* Random / Range — redundancy-blind even splits of the output nodes,
+  running inside the baseline (connection-check) data-prep pipeline;
+* METIS — partitions the induced graph over output nodes, same pipeline;
+* Betty — REG construction + METIS, same pipeline;
+* Buffalo — bucket scheduling + fast block generation.
+
+A separate (untimed) fit search reproduces the paper's companion claim:
+Random/Range need more micro-batches than Buffalo for the same budget
+(14 vs 12 in the paper) because they ignore redundancy.
+
+Wall times are min-of-3 (CPU jitter otherwise swamps the comparison).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.metis import WeightedGraph, metis_partition
+from repro.baselines.reg import build_reg
+from repro.baselines.strategies import random_partition, range_partition
+from repro.bench.experiments.common import buffalo_iteration, prepare_batch
+from repro.bench.harness import ExperimentOutput
+from repro.bench.reporting import format_table
+from repro.bench.workloads import load_bench, standard_spec
+from repro.core.estimator import BucketMemEstimator
+from repro.core.microbatch import generate_micro_batches
+from repro.device.device import SimulatedGPU
+from repro.core.symbolic import SymbolicTrainer
+from repro.gnn.block_gen import generate_blocks_baseline
+from repro.gnn.bucketing import Bucket
+from repro.graph.builder import to_edge_list
+from repro.graph.subgraph import induced_subgraph
+
+
+def _min_fit_k(prepared, estimator, constraint, partition_fn) -> int | None:
+    """Smallest K whose parts all fit ``constraint`` (untimed)."""
+    k = 2
+    while k <= 512:
+        parts = partition_fn(k)
+        fits = all(
+            estimator.estimate(
+                Bucket(degree=0, rows=np.asarray(rows))
+            )
+            <= constraint
+            for rows in parts
+            if len(rows)
+        )
+        if fits:
+            return k
+        k = max(k + 1, int(k * 1.4))
+    return None
+
+
+def run(
+    *,
+    scale: float | None = None,
+    seed: int = 0,
+    n_seeds: int = 600,
+    k_target: int = 12,
+    repeats: int = 3,
+) -> ExperimentOutput:
+    dataset = load_bench("ogbn_products", scale=scale, seed=seed)
+    prepared = prepare_batch(dataset, [10, 25], n_seeds=n_seeds, seed=seed)
+    # Paper-scale hidden width: the efficiency metric only discriminates
+    # when GPU training time is a meaningful share of the iteration (as
+    # in the paper); with a toy hidden the Python-side prep dominates
+    # everything and the metric just rewards redundant nodes.
+    spec = standard_spec(dataset, aggregator="lstm", hidden=512)
+    clustering = dataset.stats(clustering_sample=500)["avg_clustering"]
+    estimator = BucketMemEstimator(prepared.blocks, spec, clustering)
+    n_out = prepared.batch.n_seeds
+
+    # Evaluate everyone at the paper's products micro-batch count
+    # (K = 12); the budget is derived from it like Fig. 14's setup.
+    from repro.core.scheduler import BuffaloScheduler
+
+    probe = BuffaloScheduler(
+        spec, float("inf"), cutoff=10, clustering_coefficient=clustering
+    )
+    total = sum(probe.schedule(prepared.batch, prepared.blocks).estimated_bytes)
+    budget = 1.15 * total / k_target
+
+    best = None
+    plan = None
+    for _ in range(repeats):
+        measurement, candidate = buffalo_iteration(
+            prepared, spec, int(budget / 0.9), clustering=clustering
+        )
+        if measurement.status != "ok":
+            continue
+        if best is None or measurement.end_to_end_s < best.end_to_end_s:
+            best, plan = measurement, candidate
+    if best is None:
+        raise AssertionError("Buffalo failed to schedule fig16's batch")
+    k_eval = plan.k
+
+    rows = []
+    data: dict[str, dict] = {}
+
+    micro_batches = generate_micro_batches(prepared.batch, plan)
+    buffalo_nodes = sum(mb.n_input for mb in micro_batches)
+    data["Buffalo"] = {
+        "status": "ok",
+        "k": k_eval,
+        "total_nodes": buffalo_nodes,
+        "time_s": best.end_to_end_s,
+        "efficiency": buffalo_nodes / best.end_to_end_s,
+    }
+
+    def _measure(name: str, parts_rows: list[np.ndarray], plan_fn=None):
+        """Time (min-of-N) the strategy's planning + baseline block gen."""
+        best_wall = None
+        chains = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            if plan_fn is not None:
+                plan_fn()
+            chains = [
+                generate_blocks_baseline(
+                    dataset.graph,
+                    prepared.batch,
+                    np.asarray(rows, dtype=np.int64),
+                )
+                for rows in parts_rows
+                if len(rows)
+            ]
+            wall = time.perf_counter() - start
+            best_wall = wall if best_wall is None else min(best_wall, wall)
+        sym = SymbolicTrainer(
+            spec, SimulatedGPU(capacity_bytes=10**15)
+        )
+        sim_s = sym.iterate(chains).sim_time_s
+        total_nodes = sum(c[0].n_src for c in chains)
+        total_s = best_wall + sim_s
+        data[name] = {
+            "status": "ok",
+            "k": len(chains),
+            "total_nodes": total_nodes,
+            "time_s": total_s,
+            "efficiency": total_nodes / total_s,
+        }
+
+    rng = np.random.default_rng(seed)
+    _measure("Random", random_partition(n_out, k_eval, seed=rng))
+    _measure("Range", range_partition(n_out, k_eval))
+
+    sub, _ = induced_subgraph(dataset.graph, prepared.batch.seeds_global)
+    src, dst = to_edge_list(sub)
+    metis_input = WeightedGraph.from_edges(
+        src, dst, np.ones(src.size), sub.n_nodes
+    )
+    metis_labels = metis_partition(metis_input, k_eval, seed=seed)
+    _measure(
+        "METIS",
+        [np.flatnonzero(metis_labels == p) for p in range(k_eval)],
+        plan_fn=lambda: metis_partition(metis_input, k_eval, seed=seed),
+    )
+
+    batch_blocks = generate_blocks_baseline(dataset.graph, prepared.batch)
+    reg = build_reg(batch_blocks, seed=seed)
+    betty_labels = metis_partition(reg, k_eval, seed=seed)
+
+    def betty_plan():
+        blocks = generate_blocks_baseline(dataset.graph, prepared.batch)
+        r = build_reg(blocks, seed=seed)
+        metis_partition(r, k_eval, seed=seed)
+
+    _measure(
+        "Betty",
+        [np.flatnonzero(betty_labels == p) for p in range(k_eval)],
+        plan_fn=betty_plan,
+    )
+
+    for name in ("Random", "Range", "METIS", "Betty", "Buffalo"):
+        d = data[name]
+        rows.append(
+            [name, d["k"], d["total_nodes"], d["time_s"], d["efficiency"]]
+        )
+
+    # Untimed companion claim: redundancy-blind strategies need more
+    # micro-batches for the same per-micro-batch budget.
+    constraint = 0.9 * budget
+    random_k = _min_fit_k(
+        prepared,
+        estimator,
+        constraint,
+        lambda k: random_partition(n_out, k, seed=seed),
+    )
+    range_k = _min_fit_k(
+        prepared,
+        estimator,
+        constraint,
+        lambda k: range_partition(n_out, k),
+    )
+    data["min_fit_k"] = {
+        "Random": random_k,
+        "Range": range_k,
+        "Buffalo": k_eval,
+    }
+
+    baselines = [
+        data[name]["efficiency"]
+        for name in ("Random", "Range", "METIS", "Betty")
+    ]
+    margin = data["Buffalo"]["efficiency"] / max(baselines) - 1.0
+    data["margin_over_best_baseline"] = margin
+    checks = {
+        "buffalo_most_efficient": margin > 0.10,
+        "redundancy_blind_need_more_micro_batches": (
+            (random_k or 10**9) >= k_eval
+            and (range_k or 10**9) >= k_eval
+        ),
+    }
+    table = format_table(
+        ["strategy", "K", "total nodes", "time s", "nodes/s"],
+        rows,
+        title=(
+            f"Fig 16 — computation efficiency at K={k_eval} "
+            f"(ogbn_products; Buffalo margin over best baseline: "
+            f"{margin * 100:.1f}%; min fit-K Random/Range/Buffalo = "
+            f"{random_k}/{range_k}/{k_eval})"
+        ),
+    )
+    return ExperimentOutput(
+        name="fig16", table=table, data=data, shape_checks=checks
+    )

@@ -1,0 +1,126 @@
+"""Figure 17: convergence of batch vs micro-batch training.
+
+Trains GraphSAGE on OGBN-arxiv concretely (real numpy forward/backward)
+with three batch sizes, comparing full-batch training against Buffalo
+micro-batch training with identical initialization and hyperparameters.
+The paper's claim: the loss curves coincide — micro-batch training is
+mathematically equivalent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.experiments.common import prepare_batch
+from repro.bench.harness import ExperimentOutput
+from repro.bench.reporting import format_table
+from repro.bench.workloads import load_bench
+from repro.core.api import build_model
+from repro.core.grouping import BucketGroup
+from repro.core.microbatch import MicroBatch, generate_micro_batches
+from repro.core.scheduler import BuffaloScheduler
+from repro.core.trainer import MicroBatchTrainer
+from repro.gnn.footprint import ModelSpec
+from repro.nn.optim import Adam
+
+
+def _curve(dataset, prepared, spec, micro_batches, iterations, seed):
+    model = build_model(spec, rng=seed)
+    trainer = MicroBatchTrainer(
+        model, spec, Adam(model.parameters(), lr=1e-2), device=None
+    )
+    cutoffs = list(reversed(prepared.fanouts))
+    return [
+        trainer.train_iteration(
+            dataset, prepared.batch.node_map, micro_batches, cutoffs
+        ).loss
+        for _ in range(iterations)
+    ]
+
+
+def run(
+    *,
+    scale: float | None = None,
+    seed: int = 0,
+    iterations: int = 10,
+    batch_sizes: tuple[int, ...] = (100, 200, 400),
+) -> ExperimentOutput:
+    dataset = load_bench("ogbn_arxiv", scale=scale, seed=seed)
+    spec = ModelSpec(dataset.feat_dim, 32, dataset.n_classes, 2, "mean")
+
+    rows = []
+    data: dict[int, dict] = {}
+    checks: dict[str, bool] = {}
+    for batch_size in batch_sizes:
+        prepared = prepare_batch(
+            dataset, [10, 25], n_seeds=batch_size, seed=seed
+        )
+        full = [
+            MicroBatch(
+                blocks=prepared.blocks,
+                seed_rows=np.arange(prepared.batch.n_seeds),
+                group=BucketGroup(),
+            )
+        ]
+        clustering = dataset.stats(clustering_sample=500)["avg_clustering"]
+        probe = BuffaloScheduler(
+            spec, float("inf"), cutoff=10, clustering_coefficient=clustering
+        )
+        total = sum(
+            probe.schedule(prepared.batch, prepared.blocks).estimated_bytes
+        )
+        scheduler = BuffaloScheduler(
+            spec,
+            total / 3,
+            cutoff=10,
+            clustering_coefficient=clustering,
+        )
+        plan = scheduler.schedule(prepared.batch, prepared.blocks)
+        micro = generate_micro_batches(prepared.batch, plan)
+
+        full_curve = _curve(dataset, prepared, spec, full, iterations, seed)
+        micro_curve = _curve(dataset, prepared, spec, micro, iterations, seed)
+        max_gap = max(
+            abs(a - b) / max(abs(a), 1e-9)
+            for a, b in zip(full_curve, micro_curve)
+        )
+        rows.append(
+            [
+                batch_size,
+                plan.k,
+                full_curve[0],
+                full_curve[-1],
+                micro_curve[-1],
+                max_gap * 100,
+            ]
+        )
+        data[batch_size] = {
+            "k": plan.k,
+            "full_curve": full_curve,
+            "micro_curve": micro_curve,
+            "max_relative_gap": max_gap,
+        }
+        checks[f"bs{batch_size}_curves_match"] = max_gap < 1e-3
+        checks[f"bs{batch_size}_loss_decreases"] = (
+            full_curve[-1] < full_curve[0]
+        )
+        checks[f"bs{batch_size}_multiple_micro_batches"] = plan.k >= 2
+
+    table = format_table(
+        [
+            "batch size",
+            "K",
+            "initial loss",
+            "full final",
+            "micro final",
+            "max gap %",
+        ],
+        rows,
+        title=(
+            "Fig 17 — convergence, full-batch vs Buffalo micro-batch "
+            f"({iterations} iterations, ogbn_arxiv)"
+        ),
+    )
+    return ExperimentOutput(
+        name="fig17", table=table, data=data, shape_checks=checks
+    )

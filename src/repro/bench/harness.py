@@ -1,0 +1,49 @@
+"""Experiment runner utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import DeviceOutOfMemoryError, PartitioningError
+
+
+@dataclass
+class ExperimentOutput:
+    """What every experiment module's ``run()`` returns.
+
+    Attributes:
+        name: experiment id ("fig10", "tab03", ...).
+        table: human-readable result table (the paper's rows/series).
+        data: machine-readable results for assertions and EXPERIMENTS.md.
+        shape_checks: named boolean assertions of the paper's qualitative
+            shape (who wins, where crossovers fall); benchmark tests
+            require all of them to hold.
+    """
+
+    name: str
+    table: str
+    data: dict[str, Any] = field(default_factory=dict)
+    shape_checks: dict[str, bool] = field(default_factory=dict)
+
+    def assert_shape(self) -> None:
+        """Raise AssertionError listing any failed shape check."""
+        failed = [k for k, ok in self.shape_checks.items() if not ok]
+        assert not failed, (
+            f"{self.name}: shape checks failed: {failed}\n{self.table}"
+        )
+
+
+def run_guarded(fn: Callable[[], Any]) -> tuple[str, Any]:
+    """Run ``fn`` capturing the failure modes experiments report.
+
+    Returns ``(status, value)`` where status is ``"ok"``, ``"OOM"`` (the
+    device budget was exceeded) or ``"unsupported"`` (a baseline's
+    documented limitation, e.g. Betty on zero-in-degree graphs).
+    """
+    try:
+        return "ok", fn()
+    except DeviceOutOfMemoryError:
+        return "OOM", None
+    except PartitioningError:
+        return "unsupported", None

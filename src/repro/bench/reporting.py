@@ -1,0 +1,50 @@
+"""Plain-text result tables matching the paper's rows and series."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def series_to_rows(series: dict[Any, dict[str, Any]]) -> list[list[Any]]:
+    """Flatten ``{x: {col: val}}`` into table rows sorted by x."""
+    rows = []
+    for x in sorted(series):
+        row = [x]
+        row.extend(series[x].values())
+        rows.append(row)
+    return rows

@@ -1,0 +1,284 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro datasets                    # Table II-style stats
+    python -m repro train --dataset ogbn_arxiv  # Buffalo training
+    python -m repro schedule --dataset reddit   # inspect a plan
+    python -m repro experiment fig10            # regenerate a figure
+    python -m repro experiment --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Sequence
+
+EXPERIMENTS = (
+    "fig01",
+    "tab02",
+    "fig02",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "tab03",
+    "tab04",
+    "sec_g",
+    "ablation_grouping",
+    "ablation_estimator",
+    "ablation_feature_cache",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Buffalo reproduction: memory-efficient bucketized "
+        "GNN training (HPCA 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="show dataset statistics")
+    datasets.add_argument("--scale", type=float, default=0.25)
+    datasets.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="train a GNN with Buffalo")
+    train.add_argument("--dataset", default="ogbn_arxiv")
+    train.add_argument("--scale", type=float, default=0.1)
+    train.add_argument(
+        "--aggregator",
+        default="mean",
+        choices=["mean", "sum", "max", "pool", "lstm", "attention", "gcn"],
+    )
+    train.add_argument("--hidden", type=int, default=64)
+    train.add_argument("--layers", type=int, default=2)
+    train.add_argument("--heads", type=int, default=1)
+    train.add_argument("--dropout", type=float, default=0.0)
+    train.add_argument("--budget-gb", type=float, default=24.0)
+    train.add_argument("--epochs", type=int, default=2)
+    train.add_argument("--batch-size", type=int, default=256)
+    train.add_argument(
+        "--fanouts", default="10,25", help="comma list, output layer first"
+    )
+    train.add_argument("--checkpoint", default=None)
+    train.add_argument("--eval", action="store_true", dest="do_eval")
+    train.add_argument("--seed", type=int, default=0)
+
+    schedule = sub.add_parser(
+        "schedule", help="show Buffalo's plan for one batch"
+    )
+    schedule.add_argument("--dataset", default="ogbn_arxiv")
+    schedule.add_argument("--scale", type=float, default=0.1)
+    schedule.add_argument("--budget-gb", type=float, default=24.0)
+    schedule.add_argument("--aggregator", default="lstm")
+    schedule.add_argument("--hidden", type=int, default=64)
+    schedule.add_argument("--n-seeds", type=int, default=400)
+    schedule.add_argument("--fanouts", default="10,25")
+    schedule.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", nargs="?", default=None)
+    experiment.add_argument("--list", action="store_true", dest="list_all")
+
+    return parser
+
+
+def _parse_fanouts(text: str) -> list[int]:
+    try:
+        fanouts = [int(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise SystemExit(f"invalid --fanouts {text!r}; expected e.g. 10,25")
+    if not fanouts:
+        raise SystemExit("--fanouts must contain at least one value")
+    return fanouts
+
+
+def _cmd_datasets(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.datasets import DATASET_NAMES, load
+
+    rows = []
+    for name in DATASET_NAMES:
+        dataset = load(name, scale=args.scale, seed=args.seed)
+        stats = dataset.stats(clustering_sample=500)
+        rows.append(
+            [
+                name,
+                stats["n_nodes"],
+                stats["n_edges"],
+                stats["avg_degree"],
+                stats["avg_clustering"],
+                "yes" if stats["power_law"] else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["dataset", "nodes", "edges", "avg deg", "avg coef", "power law"],
+            rows,
+            title=f"generated datasets at scale={args.scale}",
+        )
+    )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.bench.workloads import budget_bytes
+    from repro.core import BuffaloTrainer
+    from repro.datasets import load
+    from repro.device import SimulatedGPU
+    from repro.gnn.footprint import ModelSpec
+    from repro.training import TrainingLoop
+
+    fanouts = _parse_fanouts(args.fanouts)
+    if len(fanouts) != args.layers:
+        raise SystemExit(
+            f"--fanouts needs {args.layers} values for --layers {args.layers}"
+        )
+    dataset = load(args.dataset, scale=args.scale, seed=args.seed)
+    spec = ModelSpec(
+        dataset.feat_dim,
+        args.hidden,
+        dataset.n_classes,
+        args.layers,
+        args.aggregator,
+        heads=args.heads,
+        dropout=args.dropout,
+    )
+    device = SimulatedGPU(
+        capacity_bytes=budget_bytes(dataset, args.budget_gb)
+    )
+    trainer = BuffaloTrainer(
+        dataset, spec, device, fanouts=fanouts, seed=args.seed
+    )
+    val_nodes = None
+    if args.do_eval:
+        val_nodes = dataset.val_nodes[:500]
+    loop = TrainingLoop(
+        trainer=trainer,
+        dataset=dataset,
+        batch_size=args.batch_size,
+        val_nodes=val_nodes,
+        checkpoint_path=args.checkpoint,
+        seed=args.seed,
+    )
+    print(
+        f"training {args.aggregator}-GraphSAGE"
+        f"{' (GAT)' if args.aggregator == 'attention' else ''} on "
+        f"{args.dataset} under {args.budget_gb:.0f} GB-equivalent "
+        f"({device.capacity / 2**20:.0f} MiB)"
+    )
+    for result in loop.run(args.epochs):
+        val = (
+            f"  val_acc={result.val_accuracy:.3f}"
+            if result.val_accuracy is not None
+            else ""
+        )
+        print(
+            f"epoch {result.epoch}: loss={result.mean_loss:.4f}"
+            f"  batches={result.n_batches}"
+            f"  micro-batches={result.total_micro_batches}{val}"
+        )
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.bench.experiments.common import prepare_batch
+    from repro.bench.workloads import budget_bytes
+    from repro.core.scheduler import BuffaloScheduler
+    from repro.datasets import load
+    from repro.gnn.footprint import ModelSpec
+
+    fanouts = _parse_fanouts(args.fanouts)
+    dataset = load(args.dataset, scale=args.scale, seed=args.seed)
+    prepared = prepare_batch(
+        dataset, fanouts, n_seeds=args.n_seeds, seed=args.seed
+    )
+    spec = ModelSpec(
+        dataset.feat_dim,
+        args.hidden,
+        dataset.n_classes,
+        len(fanouts),
+        args.aggregator,
+    )
+    budget = budget_bytes(dataset, args.budget_gb)
+    clustering = dataset.stats(clustering_sample=500)["avg_clustering"]
+    scheduler = BuffaloScheduler(
+        spec,
+        0.9 * budget,
+        cutoff=fanouts[0],
+        clustering_coefficient=clustering,
+    )
+    plan = scheduler.schedule(prepared.batch, prepared.blocks)
+    print(
+        f"{args.dataset}: {prepared.batch.n_seeds} seeds -> K={plan.k} "
+        f"bucket groups (budget {budget / 2**20:.0f} MiB, "
+        f"split={'yes' if plan.split_applied else 'no'})"
+    )
+    for i, group in enumerate(plan.groups):
+        print(f"  group {i}: {group}")
+    return 0
+
+
+def _run_one_experiment(name: str) -> bool:
+    module = importlib.import_module(f"repro.bench.experiments.{name}")
+    output = module.run()
+    print(output.table)
+    print()
+    for check, ok in output.shape_checks.items():
+        print(f"  [{'PASS' if ok else 'FAIL'}] {check}")
+    print()
+    return all(output.shape_checks.values())
+
+
+def _cmd_experiment(args) -> int:
+    if args.list_all or args.name is None:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("  all (runs every experiment)")
+        return 0
+    if args.name == "all":
+        failed = [
+            name for name in EXPERIMENTS if not _run_one_experiment(name)
+        ]
+        if failed:
+            print(f"experiments with failed shape checks: {failed}")
+            return 1
+        print(f"all {len(EXPERIMENTS)} experiments passed")
+        return 0
+    if args.name not in EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; "
+            f"see `repro experiment --list`"
+        )
+    return 0 if _run_one_experiment(args.name) else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "train": _cmd_train,
+        "schedule": _cmd_schedule,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

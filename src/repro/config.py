@@ -1,0 +1,45 @@
+"""Global configuration constants shared across the library.
+
+Keeping the physical constants in one place makes the simulation auditable:
+every byte size and every default seed used anywhere in the reproduction is
+defined here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default floating point dtype for features, activations, and weights.
+FLOAT_DTYPE = np.float32
+
+#: Default integer dtype for node ids and CSR indices.
+INDEX_DTYPE = np.int64
+
+#: Bytes per element of the default float dtype.
+FLOAT_BYTES = np.dtype(FLOAT_DTYPE).itemsize
+
+#: Bytes per element of the default index dtype.
+INDEX_BYTES = np.dtype(INDEX_DTYPE).itemsize
+
+#: Default seed used when an API accepts ``seed=None``.
+DEFAULT_SEED = 2025
+
+#: Gibibyte, used for memory budgets throughout the experiments.
+GiB = 1024**3
+
+#: Mebibyte.
+MiB = 1024**2
+
+
+def rng_from(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an existing generator (returned as-is), an integer seed, or
+    ``None`` (which maps to :data:`DEFAULT_SEED` for reproducibility —
+    this library never uses OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)

@@ -1,0 +1,256 @@
+"""High-level Buffalo facade.
+
+Wires the full online pipeline of Fig. 6 for one training iteration:
+
+1. sample a batch (subgraph) from the dataset;
+2. generate the batch's blocks with the fast generator;
+3. run the Buffalo scheduler (bucketize, split, group) under the memory
+   constraint;
+4. materialize micro-batches (fast block generation per group);
+5. train with gradient accumulation (Algorithm 2).
+
+All phases are profiled with the Fig. 11 phase names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fastblock import generate_blocks_fast
+from repro.core.microbatch import MicroBatch, generate_micro_batches
+from repro.core.scheduler import BuffaloScheduler, SchedulePlan
+from repro.core.trainer import MicroBatchTrainer, TrainResult
+from repro.datasets.catalog import Dataset
+from repro.device.device import SimulatedGPU
+from repro.device.profiler import Profiler
+from repro.errors import SchedulingError
+from repro.gnn.footprint import ModelSpec
+from repro.gnn.gat import GAT
+from repro.gnn.gcn import GCN
+from repro.gnn.sage import GraphSAGE
+from repro.graph.sampling import SampledBatch, sample_batch
+from repro.nn.optim import Adam, Optimizer
+
+
+def build_model(spec: ModelSpec, *, rng: int = 0):
+    """Instantiate the model a :class:`ModelSpec` describes."""
+    if spec.aggregator == "attention":
+        return GAT(
+            spec.in_dim,
+            spec.hidden_dim,
+            spec.n_classes,
+            spec.n_layers,
+            heads=spec.heads,
+            rng=rng,
+        )
+    if spec.aggregator == "gcn":
+        return GCN(
+            spec.in_dim,
+            spec.hidden_dim,
+            spec.n_classes,
+            spec.n_layers,
+            rng=rng,
+        )
+    return GraphSAGE(
+        spec.in_dim,
+        spec.hidden_dim,
+        spec.n_classes,
+        spec.n_layers,
+        aggregator=spec.aggregator,
+        dropout=spec.dropout,
+        rng=rng,
+    )
+
+
+@dataclass
+class IterationReport:
+    """Everything one Buffalo iteration produced."""
+
+    result: TrainResult
+    plan: SchedulePlan
+    micro_batches: list[MicroBatch]
+    batch: SampledBatch
+
+    @property
+    def n_micro_batches(self) -> int:
+        return self.plan.k
+
+
+class BuffaloTrainer:
+    """End-to-end Buffalo training on a dataset.
+
+    Args:
+        dataset: a loaded :class:`~repro.datasets.catalog.Dataset`.
+        spec: model description; ``spec.in_dim`` must equal the dataset's
+            feature width.
+        device: simulated GPU supplying the memory constraint.
+        fanouts: per-layer sampling sizes, output layer first (these are
+            also the bucketing cut-offs, as in the paper).
+        memory_constraint: per-micro-batch byte budget; defaults to 90%
+            of the device capacity (headroom for parameters/optimizer).
+        optimizer: optional custom optimizer (default Adam, lr=1e-3).
+        seed: RNG seed for sampling and model init.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        spec: ModelSpec,
+        device: SimulatedGPU,
+        fanouts: list[int],
+        *,
+        memory_constraint: float | None = None,
+        optimizer: Optimizer | None = None,
+        lr: float = 1e-3,
+        clustering_coefficient: float | None = None,
+        seed: int = 0,
+        k_max: int = 128,
+    ) -> None:
+        if spec.in_dim != dataset.feat_dim:
+            raise SchedulingError(
+                f"spec.in_dim ({spec.in_dim}) must match dataset features "
+                f"({dataset.feat_dim})"
+            )
+        if len(fanouts) != spec.n_layers:
+            raise SchedulingError(
+                f"need one fanout per layer: got {len(fanouts)} fanouts "
+                f"for {spec.n_layers} layers"
+            )
+        self.dataset = dataset
+        self.spec = spec
+        self.device = device
+        self.fanouts = list(fanouts)
+        self.seed = seed
+        if memory_constraint is None:
+            capacity = device.capacity or 0
+            memory_constraint = 0.9 * capacity if capacity else float("inf")
+        if clustering_coefficient is None:
+            clustering_coefficient = dataset.stats(
+                clustering_sample=1000
+            )["avg_clustering"]
+        self.scheduler = BuffaloScheduler(
+            spec,
+            memory_constraint,
+            cutoff=self.fanouts[0],
+            clustering_coefficient=clustering_coefficient,
+            k_max=k_max,
+        )
+        self.model = build_model(spec, rng=seed)
+        self.optimizer = optimizer or Adam(self.model.parameters(), lr=lr)
+        self.trainer = MicroBatchTrainer(
+            self.model, spec, self.optimizer, device
+        )
+        self._iteration = 0
+
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        seeds: np.ndarray | None = None,
+        *,
+        profiler: Profiler | None = None,
+    ) -> tuple[SampledBatch, SchedulePlan, list[MicroBatch], Profiler]:
+        """Sample, schedule, and materialize micro-batches for one batch."""
+        profiler = profiler or Profiler()
+        if seeds is None:
+            seeds = self.dataset.train_nodes
+
+        with profiler.phase("sampling"):
+            batch = sample_batch(
+                self.dataset.graph,
+                seeds,
+                self.fanouts,
+                rng=self.seed + self._iteration,
+            )
+        with profiler.phase("block_generation"):
+            blocks = generate_blocks_fast(batch)
+        with profiler.phase("buffalo_scheduling"):
+            plan = self.scheduler.schedule(batch, blocks)
+        with profiler.phase("block_generation"):
+            micro_batches = generate_micro_batches(batch, plan)
+        return batch, plan, micro_batches, profiler
+
+    def run_iteration(
+        self,
+        seeds: np.ndarray | None = None,
+        *,
+        max_oom_retries: int = 2,
+    ) -> IterationReport:
+        """One full online-training iteration (Fig. 6 pipeline).
+
+        OOM resilience: the memory estimator is analytical, so a group
+        can occasionally exceed its estimate during concrete execution.
+        When the device raises OOM mid-iteration, the scheduler's
+        constraint is tightened by 25% and the iteration is re-planned
+        and retried (up to ``max_oom_retries`` times) — the same
+        fallback a production system performs.  The tightened
+        constraint persists for subsequent iterations (the estimator's
+        bias is systematic, not per-batch).
+
+        Raises:
+            DeviceOutOfMemoryError: when retries are exhausted.
+        """
+        from repro.errors import DeviceOutOfMemoryError
+
+        cutoffs = list(reversed(self.fanouts))
+        last_oom: DeviceOutOfMemoryError | None = None
+        for attempt in range(max_oom_retries + 1):
+            try:
+                batch, plan, micro_batches, profiler = self.prepare(seeds)
+            except SchedulingError:
+                # A tightened constraint can become unschedulable; that
+                # is the same terminal condition as the OOM that caused
+                # the tightening.
+                if last_oom is not None:
+                    raise last_oom
+                raise
+            oom_info: tuple[int, int, int] | None = None
+            try:
+                result = self.trainer.train_iteration(
+                    self.dataset,
+                    batch.node_map,
+                    micro_batches,
+                    cutoffs,
+                    profiler=profiler,
+                )
+            except DeviceOutOfMemoryError as exc:
+                if attempt == max_oom_retries:
+                    raise
+                oom_info = (exc.requested, exc.live, exc.capacity)
+            if oom_info is not None:
+                # Outside the except block the handled exception (and
+                # its traceback, which pins the failed iteration's
+                # activation graph in the device ledger) is released.
+                last_oom = DeviceOutOfMemoryError(*oom_info)
+                del batch, plan, micro_batches, profiler
+                import gc
+
+                gc.collect()
+                # Snap to the device's real headroom (minus resident
+                # parameters), then keep shaving 25% per further OOM.
+                tightened = 0.75 * self.scheduler.memory_constraint
+                if self.device.capacity:
+                    headroom = 0.85 * (
+                        self.device.capacity - self.device.live_bytes
+                    )
+                    tightened = min(tightened, headroom)
+                self.scheduler.memory_constraint = max(tightened, 1.0)
+                continue
+            self._iteration += 1
+            return IterationReport(
+                result=result,
+                plan=plan,
+                micro_batches=micro_batches,
+                batch=batch,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def train_epochs(
+        self, n_iterations: int, seeds: np.ndarray | None = None
+    ) -> list[float]:
+        """Run several iterations; returns the loss curve."""
+        return [
+            self.run_iteration(seeds).result.loss
+            for _ in range(n_iterations)
+        ]

@@ -1,0 +1,215 @@
+"""Data-parallel Buffalo training across multiple simulated GPUs (§V-G).
+
+Micro-batches from the Buffalo scheduler are round-robined over the
+devices; each device accumulates gradients for its share, the replicas'
+gradients are averaged (ring all-reduce on the interconnect clock), and
+every replica steps identically.  Because micro-batch outputs are
+disjoint, summing the per-device gradient sums reproduces the
+single-device (and hence full-batch) gradient exactly — data parallelism
+inherits Buffalo's convergence guarantee.
+
+The paper's finding is reproduced by construction: only the GPU-compute
+share of the iteration parallelizes; scheduling and micro-batch
+generation stay serial on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.api import build_model
+from repro.core.fastblock import generate_blocks_fast
+from repro.core.microbatch import MicroBatch, generate_micro_batches
+from repro.core.scheduler import BuffaloScheduler
+from repro.core.trainer import MicroBatchTrainer
+from repro.datasets.catalog import Dataset
+from repro.device.device import MultiGPU
+from repro.device.profiler import Profiler
+from repro.errors import ReproError, SchedulingError
+from repro.gnn.footprint import ModelSpec
+from repro.graph.sampling import sample_batch
+from repro.nn.optim import Adam, Optimizer
+from repro.tensor.functional import cross_entropy_with_logits
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class DistributedIteration:
+    """Outcome of one data-parallel iteration."""
+
+    loss: float
+    n_micro_batches: int
+    per_device_peaks: list[int]
+    sim_time_s: float
+    comm_time_s: float
+
+
+class DataParallelBuffaloTrainer:
+    """Buffalo training replicated over a :class:`MultiGPU` group.
+
+    Args:
+        dataset: training data.
+        spec: model description (replicated per device).
+        devices: the simulated GPU group.
+        fanouts: per-layer sampling sizes (output layer first).
+        memory_constraint: per-micro-batch budget; defaults to 90% of a
+            single device's capacity.
+        seed: sampling/init seed (all replicas share initialization).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        spec: ModelSpec,
+        devices: MultiGPU,
+        fanouts: list[int],
+        *,
+        memory_constraint: float | None = None,
+        lr: float = 1e-3,
+        clustering_coefficient: float | None = None,
+        seed: int = 0,
+        k_max: int = 128,
+    ) -> None:
+        if spec.in_dim != dataset.feat_dim:
+            raise SchedulingError(
+                f"spec.in_dim ({spec.in_dim}) must match dataset features "
+                f"({dataset.feat_dim})"
+            )
+        self.dataset = dataset
+        self.spec = spec
+        self.devices = devices
+        self.fanouts = list(fanouts)
+        self.seed = seed
+        if memory_constraint is None:
+            capacity = devices.devices[0].capacity or 0
+            memory_constraint = 0.9 * capacity if capacity else float("inf")
+        if clustering_coefficient is None:
+            clustering_coefficient = dataset.stats(
+                clustering_sample=1000
+            )["avg_clustering"]
+        self.scheduler = BuffaloScheduler(
+            spec,
+            memory_constraint,
+            cutoff=self.fanouts[0],
+            clustering_coefficient=clustering_coefficient,
+            k_max=k_max,
+        )
+        # Identical initialization on every replica.
+        self.replicas = [
+            build_model(spec, rng=seed) for _ in devices.devices
+        ]
+        self.optimizers: list[Optimizer] = [
+            Adam(replica.parameters(), lr=lr) for replica in self.replicas
+        ]
+        self.trainers = [
+            MicroBatchTrainer(replica, spec, optimizer, device)
+            for replica, optimizer, device in zip(
+                self.replicas, self.optimizers, devices.devices
+            )
+        ]
+        self._iteration = 0
+
+    @property
+    def model(self):
+        """The (synchronized) model; replica 0 by convention."""
+        return self.replicas[0]
+
+    # ------------------------------------------------------------------
+    def _allreduce_gradients(self) -> float:
+        """Average gradients across replicas; returns comm seconds."""
+        param_lists = [
+            list(replica.parameters()) for replica in self.replicas
+        ]
+        n = len(self.replicas)
+        for group in zip(*param_lists):
+            grads = [p.grad for p in group if p.grad is not None]
+            if not grads:
+                continue
+            # Replicas without a micro-batch share contribute zero.
+            mean = sum(grads) / n
+            for p in group:
+                p.grad = mean.copy()
+        return self.devices.allreduce(self.spec.param_bytes())
+
+    def run_iteration(
+        self, seeds: np.ndarray | None = None
+    ) -> DistributedIteration:
+        """One data-parallel iteration over one sampled batch."""
+        if seeds is None:
+            seeds = self.dataset.train_nodes
+        profiler = Profiler()
+        with profiler.phase("sampling"):
+            batch = sample_batch(
+                self.dataset.graph,
+                seeds,
+                self.fanouts,
+                rng=self.seed + self._iteration,
+            )
+        with profiler.phase("block_generation"):
+            blocks = generate_blocks_fast(batch)
+        with profiler.phase("buffalo_scheduling"):
+            plan = self.scheduler.schedule(batch, blocks)
+        micro_batches = generate_micro_batches(batch, plan)
+
+        # Round-robin micro-batches over devices; each replica runs its
+        # share with gradient accumulation but WITHOUT stepping.
+        n_dev = len(self.trainers)
+        shares: list[list[MicroBatch]] = [[] for _ in range(n_dev)]
+        for i, mb in enumerate(micro_batches):
+            shares[i % n_dev].append(mb)
+
+        total_outputs = batch.n_seeds
+        cutoffs = list(reversed(self.fanouts))
+        loss_sum = 0.0
+        for trainer, share, device in zip(
+            self.trainers, shares, self.devices.devices
+        ):
+            if not share:
+                continue
+            trainer.model.zero_grad()
+            device.reset_peak()
+            for mb in share:
+                feats = self.dataset.features[
+                    batch.node_map[mb.blocks[0].src_nodes]
+                ]
+                device.load(feats.nbytes)
+                input_feats = Tensor(feats, device=device)
+                logits = trainer.model(mb.blocks, input_feats, cutoffs)
+                labels = self.dataset.labels[
+                    batch.node_map[mb.blocks[-1].dst_nodes]
+                ]
+                partial = cross_entropy_with_logits(
+                    logits, labels, reduction="sum"
+                ) * (1.0 / total_outputs)
+                partial.backward()
+                loss_sum += partial.item()
+                trainer._simulate_compute(mb.blocks, profiler)
+                del logits, partial, input_feats
+
+        comm_s = self._allreduce_gradients()
+        for optimizer in self.optimizers:
+            optimizer.step()
+        self._verify_sync()
+        self._iteration += 1
+        return DistributedIteration(
+            loss=float(loss_sum),
+            n_micro_batches=len(micro_batches),
+            per_device_peaks=[
+                d.peak_bytes for d in self.devices.devices
+            ],
+            sim_time_s=self.devices.sim_time_s,
+            comm_time_s=comm_s,
+        )
+
+    def _verify_sync(self) -> None:
+        """Replicas must stay bit-identical after each step."""
+        reference = self.replicas[0].state_dict()
+        for replica in self.replicas[1:]:
+            state = replica.state_dict()
+            for key, value in reference.items():
+                if not np.array_equal(value, state[key]):
+                    raise ReproError(
+                        f"replica desynchronized at parameter {key}"
+                    )

@@ -1,0 +1,54 @@
+"""Buffalo's accelerated block generation (paper §IV-E).
+
+Two optimizations over the baseline
+(:func:`repro.gnn.block_gen.generate_blocks_baseline`):
+
+1. **No repeated connection checks** — the sampled subgraph's CSR rows
+   *are* the selected neighbors, so each frontier expansion is a direct
+   row gather instead of per-edge membership probes against the original
+   graph.
+2. **Node-level parallelism** — the gather is one vectorized ragged-array
+   operation over the whole frontier (numpy vectorization standing in for
+   the paper's parallel C++ row processing), instead of a serial per-node
+   loop.
+
+Both generators produce byte-identical blocks for the same batch, which
+``tests/core/test_fastblock.py`` verifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.block import Block
+from repro.gnn.block_gen import assemble_blocks
+from repro.graph.sampling import SampledBatch
+from repro.graph.subgraph import gather_rows
+
+
+def generate_blocks_fast(
+    batch: SampledBatch,
+    seeds_local: np.ndarray | None = None,
+    *,
+    n_layers: int | None = None,
+) -> list[Block]:
+    """Generate chained blocks with vectorized CSR row slicing.
+
+    Args:
+        batch: the sampled batch (its subgraph rows hold the sampled
+            neighbors of every expanded node).
+        seeds_local: output nodes (defaults to the batch's seeds); a
+            bucket group's rows are passed here during micro-batch
+            generation.
+        n_layers: aggregation depth (defaults to the batch's).
+
+    Returns:
+        Blocks input-most first, identical to the baseline generator's.
+    """
+    if seeds_local is None:
+        seeds_local = batch.seeds_local
+
+    def row_fn(frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return gather_rows(batch.graph, frontier)
+
+    return assemble_blocks(batch, seeds_local, row_fn, n_layers)

@@ -1,0 +1,269 @@
+"""MemBalancedGrouping (paper Algorithm 4).
+
+Treats buckets as items of a load-balanced bin-packing problem whose item
+weight *and* value are the estimated memory, and solves it with the
+greedy longest-processing-time heuristic: sort buckets by standalone
+memory descending, place each into the group with the lowest current
+redundancy-aware memory estimate.  Returns failure when any resulting
+group exceeds the memory constraint, in which case the scheduler retries
+with ``K + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.estimator import (
+    BucketMemEstimator,
+    redundancy_group_estimate,
+)
+from repro.errors import SchedulingError
+from repro.gnn.bucketing import Bucket
+
+
+@dataclass
+class BucketGroup:
+    """A scheduled group of buckets forming one micro-batch.
+
+    Attributes:
+        buckets: member buckets (micro-buckets and/or whole buckets).
+        estimated_bytes: the redundancy-aware memory estimate (Eq. 2).
+    """
+
+    buckets: list[Bucket] = field(default_factory=list)
+    estimated_bytes: float = 0.0
+
+    @property
+    def rows(self) -> np.ndarray:
+        """All output rows of the group (sorted)."""
+        if not self.buckets:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate([b.rows for b in self.buckets]))
+
+    @property
+    def n_output(self) -> int:
+        return sum(b.volume for b in self.buckets)
+
+    def __repr__(self) -> str:
+        degrees = sorted(b.degree for b in self.buckets)
+        return (
+            f"BucketGroup(n_buckets={len(self.buckets)}, "
+            f"n_output={self.n_output}, degrees={degrees}, "
+            f"est={self.estimated_bytes / 2**20:.1f}MiB)"
+        )
+
+
+def mem_balanced_grouping(
+    buckets: list[Bucket],
+    k: int,
+    memory_constraint: float,
+    estimator: BucketMemEstimator,
+) -> tuple[bool, list[BucketGroup]]:
+    """Greedily pack ``buckets`` into ``k`` memory-balanced groups.
+
+    Args:
+        buckets: all buckets of the output layer (after any splitting).
+        k: number of groups.
+        memory_constraint: per-group byte budget (``M_ctr``).
+        estimator: the batch's :class:`BucketMemEstimator`.
+
+    Returns:
+        ``(success, groups)``; on failure the groups reflect the
+        attempted (over-budget) packing, which callers may inspect.
+    """
+    if k < 1:
+        raise SchedulingError(f"group count must be >= 1, got {k}")
+    if not buckets:
+        raise SchedulingError("cannot group an empty bucket list")
+
+    # Eq. 2 makes a group's estimate a plain sum of per-bucket constants
+    # (M_est * R for multi-bucket groups, M_est for singletons), so the
+    # packing loop maintains estimates incrementally — O(n * k) instead
+    # of re-estimating whole groups per insertion.
+    standalone: dict[int, float] = {}
+    discounted: dict[int, float] = {}
+    estimator.profile_many(buckets)  # one segmented walk warms the cache
+    for b in buckets:
+        profile = estimator.profile(b)
+        m_est = estimator.estimate_from_profile(profile)
+        standalone[id(b)] = m_est
+        discounted[id(b)] = m_est * estimator.grouping_ratio(profile)
+    order = sorted(buckets, key=lambda b: standalone[id(b)], reverse=True)
+
+    groups = [BucketGroup() for _ in range(k)]
+    for bucket in order:
+        target = min(groups, key=lambda g: g.estimated_bytes)
+        target.buckets.append(bucket)
+        if len(target.buckets) == 1:
+            target.estimated_bytes = standalone[id(bucket)]
+        elif len(target.buckets) == 2:
+            target.estimated_bytes = sum(
+                discounted[id(b)] for b in target.buckets
+            )
+        else:
+            target.estimated_bytes += discounted[id(bucket)]
+
+    groups = [g for g in groups if g.buckets]
+    success = all(g.estimated_bytes <= memory_constraint for g in groups)
+    return success, groups
+
+
+def first_fit_decreasing(
+    buckets: list[Bucket],
+    memory_constraint: float,
+    estimator: BucketMemEstimator,
+) -> list[BucketGroup]:
+    """Classic FFD bin packing (ablation baseline for Algorithm 4).
+
+    Minimizes the number of bins without balancing them: each bucket
+    (largest first) goes into the first group it fits, opening a new
+    group when none fits.  Compared against the LPT packing in
+    ``benchmarks/test_ablation_grouping.py`` — FFD uses similar K but
+    leaves the last bins underfilled (poor balance).
+    """
+    if not buckets:
+        raise SchedulingError("cannot group an empty bucket list")
+    pairs = []
+    for b in buckets:
+        profile = estimator.profile(b)
+        m_est = estimator.estimate_from_profile(profile)
+        pairs.append((b, m_est, m_est * estimator.grouping_ratio(profile)))
+    pairs.sort(key=lambda t: t[1], reverse=True)
+
+    groups: list[BucketGroup] = []
+    discounted_sums: list[float] = []
+    for bucket, m_est, m_disc in pairs:
+        placed = False
+        for i, group in enumerate(groups):
+            projected = (
+                discounted_sums[i] + m_disc
+                if group.buckets
+                else m_est
+            )
+            if projected <= memory_constraint:
+                group.buckets.append(bucket)
+                discounted_sums[i] += m_disc
+                group.estimated_bytes = (
+                    m_est
+                    if len(group.buckets) == 1
+                    else discounted_sums[i]
+                )
+                placed = True
+                break
+        if not placed:
+            groups.append(
+                BucketGroup(buckets=[bucket], estimated_bytes=m_est)
+            )
+            discounted_sums.append(m_disc)
+    return groups
+
+
+def random_grouping(
+    buckets: list[Bucket],
+    k: int,
+    estimator: BucketMemEstimator,
+    seed: int = 0,
+) -> list[BucketGroup]:
+    """Uniform random assignment into ``k`` groups (ablation baseline)."""
+    import numpy as _np
+
+    if not buckets:
+        raise SchedulingError("cannot group an empty bucket list")
+    rng = _np.random.default_rng(seed)
+    assignment = rng.integers(0, k, size=len(buckets))
+    groups = [BucketGroup() for _ in range(k)]
+    for bucket, g in zip(buckets, assignment):
+        groups[g].buckets.append(bucket)
+    groups = [g for g in groups if g.buckets]
+    for group in groups:
+        group.estimated_bytes = redundancy_group_estimate(
+            estimator, group.buckets
+        )
+    return groups
+
+
+def exact_group_bytes(
+    estimator: BucketMemEstimator, group: BucketGroup
+) -> float:
+    """Exact memory of a group's micro-batch: one merged-rows profile.
+
+    Unlike Eq. 2 this walks the *union* of the members' dependency
+    cones, so shared inputs are deduplicated exactly.  It is what Eq. 2
+    approximates; the load-balance refinement uses it because a single
+    walk per group is affordable once K is fixed.
+    """
+    merged = Bucket(degree=0, rows=group.rows)
+    return estimator.estimate(merged)
+
+
+def refine_balance(
+    groups: list[BucketGroup],
+    estimator: BucketMemEstimator,
+    *,
+    max_moves: int = 8,
+) -> list[BucketGroup]:
+    """Greedy post-pass reducing the max-min spread of exact group memory.
+
+    Repeatedly moves the smallest bucket of the heaviest group to the
+    lightest group, keeping a move only when it lowers the maximum exact
+    group memory.  Mutates and returns ``groups`` (their
+    ``estimated_bytes`` are updated to exact values).
+    """
+    def _merged(buckets_subset: list[Bucket]) -> Bucket:
+        return Bucket(
+            degree=0,
+            rows=np.sort(
+                np.concatenate([b.rows for b in buckets_subset])
+            ),
+        )
+
+    if len(groups) < 2:
+        profiles = estimator.profile_many([_merged(g.buckets) for g in groups])
+        for g, p in zip(groups, profiles):
+            g.estimated_bytes = estimator.estimate_from_profile(p)
+        return groups
+
+    group_profiles = estimator.profile_many(
+        [_merged(g.buckets) for g in groups]
+    )
+    exact = [
+        estimator.estimate_from_profile(p) for p in group_profiles
+    ]
+    for _ in range(max_moves):
+        hi = max(range(len(groups)), key=lambda i: exact[i])
+        lo = min(range(len(groups)), key=lambda i: exact[i])
+        if hi == lo or len(groups[hi].buckets) <= 1:
+            break
+        # Evaluate the lightest few buckets of the heavy group as move
+        # candidates (all hi'/lo' variants profiled in one segmented
+        # walk) and take the one lowering the pair maximum most.
+        candidates = sorted(
+            groups[hi].buckets, key=lambda b: estimator.estimate(b)
+        )[:4]
+        probe_buckets: list[Bucket] = []
+        for mover in candidates:
+            hi_rest = [b for b in groups[hi].buckets if b is not mover]
+            probe_buckets.append(_merged(hi_rest))
+            probe_buckets.append(_merged(groups[lo].buckets + [mover]))
+        probes = estimator.profile_many(probe_buckets)
+
+        best_move = None
+        best_pair_max = exact[hi]
+        for idx, mover in enumerate(candidates):
+            new_hi = estimator.estimate_from_profile(probes[2 * idx])
+            new_lo = estimator.estimate_from_profile(probes[2 * idx + 1])
+            pair_max = max(new_hi, new_lo)
+            if pair_max < best_pair_max - 1e-9:
+                best_move = (mover, new_hi, new_lo)
+                best_pair_max = pair_max
+        if best_move is None:
+            break
+        mover, new_hi, new_lo = best_move
+        groups[hi].buckets.remove(mover)
+        groups[lo].buckets.append(mover)
+        exact[hi], exact[lo] = new_hi, new_lo
+    for g, e in zip(groups, exact):
+        g.estimated_bytes = e
+    return groups

@@ -1,0 +1,39 @@
+"""SplitExplosionBucket (paper §IV-C, Algorithm 3 line 5).
+
+Evenly splits the exploded cut-off bucket into ``k`` micro-buckets, each
+with roughly the same number of output nodes.  Micro-buckets keep the
+parent's degree label and record their split index, so the grouping step
+can mix them freely with the non-split buckets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.gnn.bucketing import Bucket
+
+
+def split_explosion_bucket(bucket: Bucket, k: int) -> list[Bucket]:
+    """Split ``bucket`` into ``k`` even micro-buckets.
+
+    Args:
+        bucket: the bucket to split (typically the exploded cut-off
+            bucket).
+        k: number of micro-buckets; capped at the bucket volume (every
+            micro-bucket is non-empty).
+
+    Returns:
+        Micro-buckets in row order; their row sets partition the
+        parent's rows and sizes differ by at most one.
+    """
+    if k < 1:
+        raise SchedulingError(f"split count must be >= 1, got {k}")
+    k = min(k, bucket.volume)
+    if k <= 1:
+        return [bucket]
+    pieces = np.array_split(bucket.rows, k)
+    return [
+        Bucket(degree=bucket.degree, rows=piece, micro_index=i)
+        for i, piece in enumerate(pieces)
+    ]

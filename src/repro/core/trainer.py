@@ -1,0 +1,180 @@
+"""Micro-batch training with gradient accumulation (paper Algorithm 2).
+
+Each micro-batch runs forward + backward on its own block chain; since
+micro-batch outputs are *disjoint* seed subsets and the loss is a sum
+over output nodes, accumulating gradients across micro-batches and
+stepping once reproduces full-batch training exactly (up to float
+associativity) — the property behind the paper's Fig. 17 / Table IV.
+
+The trainer drives both clocks: CPU phases are wall-timed by the
+profiler; data loading and GPU compute advance the simulated device
+clock via the analytic cost model, while the device's allocation ledger
+observes the real activation bytes of the numpy execution.
+"""
+
+from __future__ import annotations
+
+import gc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.catalog import Dataset
+from repro.device.device import SimulatedGPU
+from repro.device.profiler import Profiler
+from repro.errors import ConvergenceError
+from repro.gnn.block import Block
+from repro.gnn.footprint import (
+    ModelSpec,
+    model_layer_footprints,
+    training_dram_bytes,
+    training_flops,
+)
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.tensor.functional import cross_entropy_with_logits
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training iteration.
+
+    Attributes:
+        loss: the full-batch-equivalent mean loss.
+        peak_bytes: device peak memory across the iteration.
+        n_micro_batches: micro-batches processed.
+        micro_batch_peaks: per-micro-batch device peaks (empty without a
+            device) — the concrete counterpart of Fig. 14's balance data.
+        profiler: per-phase timing (wall + simulated).
+    """
+
+    loss: float
+    peak_bytes: int
+    n_micro_batches: int
+    micro_batch_peaks: list = field(default_factory=list)
+    profiler: Profiler = field(default_factory=Profiler)
+
+
+class MicroBatchTrainer:
+    """Runs Algorithm 2's inner loop over prepared micro-batches.
+
+    Args:
+        model: a :class:`~repro.gnn.sage.GraphSAGE` or
+            :class:`~repro.gnn.gat.GAT` instance.
+        spec: the matching :class:`ModelSpec` (drives the cost model).
+        optimizer: optimizer over ``model.parameters()``.
+        device: simulated GPU; ``None`` disables memory/time accounting.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        spec: ModelSpec,
+        optimizer: Optimizer,
+        device: SimulatedGPU | None = None,
+    ) -> None:
+        self.model = model
+        self.spec = spec
+        self.optimizer = optimizer
+        self.device = device
+        if device is not None:
+            model.to_device(device)
+
+    # ------------------------------------------------------------------
+    def _simulate_compute(self, blocks: list[Block], profiler: Profiler) -> None:
+        """Advance the device clock by the iteration's kernels."""
+        if self.device is None:
+            return
+        footprints = model_layer_footprints(blocks, self.spec)
+        duration = self.device.run_kernel(
+            training_flops(footprints), training_dram_bytes(footprints)
+        )
+        profiler.add_sim("gpu_compute", duration)
+
+    def _load_features(
+        self,
+        dataset: Dataset,
+        node_map: np.ndarray,
+        block: Block,
+        profiler: Profiler,
+    ) -> Tensor:
+        features = dataset.features[node_map[block.src_nodes]]
+        if self.device is not None:
+            duration = self.device.load(features.nbytes)
+            profiler.add_sim("data_loading", duration)
+        return Tensor(features, device=self.device)
+
+    # ------------------------------------------------------------------
+    def train_iteration(
+        self,
+        dataset: Dataset,
+        node_map: np.ndarray,
+        micro_batches: list,
+        cutoffs: list[int],
+        *,
+        profiler: Profiler | None = None,
+    ) -> TrainResult:
+        """One full iteration: all micro-batches, then one optimizer step.
+
+        Args:
+            dataset: supplies features and labels (host side).
+            node_map: batch-local -> dataset-global node ids.
+            micro_batches: :class:`~repro.core.microbatch.MicroBatch`
+                list (or any objects with ``blocks`` and ``seed_rows``).
+            cutoffs: per-layer bucketing cut-offs aligned with blocks
+                (input-most first).
+            profiler: phase accumulator (created when omitted).
+        """
+        profiler = profiler or Profiler()
+        total_outputs = sum(mb.n_output for mb in micro_batches)
+        if total_outputs == 0:
+            raise ConvergenceError("no output nodes to train on")
+
+        self.model.zero_grad()
+        if self.device is not None:
+            self.device.reset_peak()
+
+        loss_sum = 0.0
+        micro_batch_peaks: list[int] = []
+        iteration_peak = 0
+        for mb in micro_batches:
+            if self.device is not None:
+                self.device.reset_peak()
+            input_feats = self._load_features(
+                dataset, node_map, mb.blocks[0], profiler
+            )
+            with profiler.phase("forward_backward_wall"):
+                logits = self.model(mb.blocks, input_feats, cutoffs)
+                labels = dataset.labels[
+                    node_map[mb.blocks[-1].dst_nodes]
+                ]
+                partial = cross_entropy_with_logits(
+                    logits, labels, reduction="sum"
+                ) * (1.0 / total_outputs)
+                partial.backward()
+                loss_sum += partial.item()
+            self._simulate_compute(mb.blocks, profiler)
+            if self.device is not None:
+                micro_batch_peaks.append(self.device.peak_bytes)
+                iteration_peak = max(
+                    iteration_peak, self.device.peak_bytes
+                )
+            # Release the autograd graph (activations) before the next
+            # micro-batch — the point of output-layer partitioning.
+            del logits, partial, input_feats
+            gc.collect()
+
+        with profiler.phase("optimizer_step"):
+            self.optimizer.step()
+
+        if not np.isfinite(loss_sum):
+            raise ConvergenceError(f"non-finite loss: {loss_sum}")
+
+        return TrainResult(
+            loss=float(loss_sum),
+            peak_bytes=iteration_peak,
+            n_micro_batches=len(micro_batches),
+            micro_batch_peaks=micro_batch_peaks,
+            profiler=profiler,
+        )

@@ -1,0 +1,267 @@
+"""Named datasets matching Table II of the paper.
+
+Each entry produces a synthetic stand-in whose structural statistics track
+the paper's dataset (see DESIGN.md §2 and §6 for the substitution
+rationale and the node-count scaling).  ``load(name, scale=...)`` scales
+node counts; all other statistics (average degree, clustering, power-law
+shape, feature dimension) are scale-free targets.
+
+Generated datasets are cached per ``(name, scale, seed)`` within the
+process because generation of the largest graphs takes seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.config import INDEX_DTYPE, rng_from
+from repro.errors import DatasetError
+from repro.graph.csr import CSRGraph
+from repro.graph import metrics
+from repro.datasets.features import synthesize_features, synthesize_labels
+from repro.datasets.synthetic import (
+    boost_clustering,
+    community_powerlaw_graph,
+    directed_citation_graph,
+    powerlaw_cluster_graph,
+    small_world_graph,
+)
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """Table II row for the original dataset (for reporting)."""
+
+    feat_dim: int
+    n_nodes: int
+    n_edges: int
+    avg_degree: float
+    avg_clustering: float
+    power_law: bool
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Generator recipe for one named dataset."""
+
+    name: str
+    paper: PaperStats
+    base_nodes: int  # node count at scale=1.0 (the repro default)
+    generator: str  # "powerlaw_cluster" | "small_world" | "citation"
+    gen_params: dict = field(default_factory=dict)
+    n_classes: int = 10
+    feat_dim: int = 64  # repro feature dim (paper dims in `paper`)
+    directed: bool = False
+
+
+@dataclass
+class Dataset:
+    """A loaded dataset: graph + features + labels + splits.
+
+    ``train_nodes`` / ``val_nodes`` / ``test_nodes`` are disjoint random
+    splits (10% / 10% / 10% of nodes by default).  ``val_nodes`` and
+    ``test_nodes`` default to empty for hand-built datasets.
+    """
+
+    name: str
+    graph: CSRGraph
+    features: np.ndarray
+    labels: np.ndarray
+    n_classes: int
+    train_nodes: np.ndarray
+    scale: float
+    spec: DatasetSpec
+    val_nodes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=INDEX_DTYPE)
+    )
+    test_nodes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=INDEX_DTYPE)
+    )
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.n_nodes
+
+    @property
+    def feat_dim(self) -> int:
+        return int(self.features.shape[1])
+
+    def stats(self, *, clustering_sample: int | None = 2000) -> dict:
+        """Measured Table II statistics of the generated graph."""
+        return {
+            "n_nodes": self.graph.n_nodes,
+            "n_edges": self.graph.n_edges,
+            "avg_degree": metrics.average_degree(self.graph),
+            "avg_clustering": metrics.average_clustering(
+                self.graph, sample=clustering_sample, seed=0
+            ),
+            "power_law": metrics.is_power_law(self.graph),
+        }
+
+
+_SPECS: dict[str, DatasetSpec] = {}
+
+
+def _register(spec_: DatasetSpec) -> None:
+    _SPECS[spec_.name] = spec_
+
+
+_register(
+    DatasetSpec(
+        name="cora",
+        paper=PaperStats(1433, 2_700, 10_000, 3.9, 0.24, False),
+        base_nodes=2_708,
+        generator="small_world",
+        gen_params={"k": 4, "p_rewire": 0.22},
+        n_classes=7,
+        feat_dim=64,
+    )
+)
+_register(
+    DatasetSpec(
+        name="pubmed",
+        paper=PaperStats(500, 19_000, 88_000, 8.9, 0.06, False),
+        base_nodes=19_717,
+        generator="small_world",
+        gen_params={"k": 8, "p_rewire": 0.55},
+        n_classes=3,
+        feat_dim=64,
+    )
+)
+_register(
+    DatasetSpec(
+        name="reddit",
+        paper=PaperStats(602, 200_000, 114_600_000, 492.0, 0.579, True),
+        base_nodes=20_000,
+        generator="community",
+        gen_params={"community_size": 20, "p_intra": 0.85, "m_backbone": 2},
+        n_classes=41,
+        feat_dim=64,
+    )
+)
+_register(
+    DatasetSpec(
+        name="ogbn_arxiv",
+        paper=PaperStats(128, 160_000, 2_310_000, 13.7, 0.226, True),
+        base_nodes=40_000,
+        generator="powerlaw_cluster",
+        gen_params={"m": 7, "p_triad": 0.95},
+        n_classes=40,
+        feat_dim=64,
+    )
+)
+_register(
+    DatasetSpec(
+        name="ogbn_products",
+        paper=PaperStats(100, 2_450_000, 61_860_000, 50.5, 0.411, True),
+        base_nodes=50_000,
+        generator="community",
+        gen_params={"community_size": 20, "p_intra": 0.74, "m_backbone": 3},
+        n_classes=47,
+        feat_dim=64,
+    )
+)
+_register(
+    DatasetSpec(
+        name="ogbn_papers",
+        paper=PaperStats(128, 111_100_000, 1_600_000_000, 29.1, 0.085, True),
+        base_nodes=100_000,
+        generator="citation",
+        gen_params={"m": 10, "uniform_mix": 0.2, "p_cocite": 0.4},
+        n_classes=40,
+        feat_dim=64,
+        directed=True,
+    )
+)
+
+DATASET_NAMES: tuple[str, ...] = tuple(_SPECS)
+
+
+def spec(name: str) -> DatasetSpec:
+    """Return the :class:`DatasetSpec` registered under ``name``."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(_SPECS)}"
+        ) from None
+
+
+def _generate_graph(spec_: DatasetSpec, n: int, seed: int) -> CSRGraph:
+    params = spec_.gen_params
+    if spec_.generator == "small_world":
+        return small_world_graph(n, params["k"], params["p_rewire"], seed)
+    if spec_.generator == "powerlaw_cluster":
+        graph = powerlaw_cluster_graph(
+            n, params["m"], params["p_triad"], seed
+        )
+        boost = params.get("closure_per_node", 0.0)
+        if boost:
+            graph = boost_clustering(graph, int(boost * n), seed + 7)
+        return graph
+    if spec_.generator == "community":
+        return community_powerlaw_graph(
+            n,
+            params["community_size"],
+            params["p_intra"],
+            params["m_backbone"],
+            seed,
+        )
+    if spec_.generator == "citation":
+        return directed_citation_graph(
+            n,
+            params["m"],
+            seed,
+            uniform_mix=params["uniform_mix"],
+            p_cocite=params.get("p_cocite", 0.0),
+        )
+    raise DatasetError(f"unknown generator {spec_.generator!r}")
+
+
+@lru_cache(maxsize=16)
+def _load_cached(name: str, scale: float, seed: int) -> Dataset:
+    spec_ = spec(name)
+    n = max(int(spec_.base_nodes * scale), 32)
+    graph = _generate_graph(spec_, n, seed)
+    label_graph = graph
+    labels = synthesize_labels(label_graph, spec_.n_classes, seed + 1)
+    features = synthesize_features(labels, spec_.feat_dim, seed + 2)
+    rng = rng_from(seed + 3)
+    split_size = max(int(0.1 * n), 8)
+    permutation = rng.permutation(n)
+    train_nodes = np.sort(permutation[:split_size]).astype(INDEX_DTYPE)
+    val_nodes = np.sort(
+        permutation[split_size : 2 * split_size]
+    ).astype(INDEX_DTYPE)
+    test_nodes = np.sort(
+        permutation[2 * split_size : 3 * split_size]
+    ).astype(INDEX_DTYPE)
+    return Dataset(
+        name=name,
+        graph=graph,
+        features=features,
+        labels=labels,
+        n_classes=spec_.n_classes,
+        train_nodes=train_nodes,
+        scale=scale,
+        spec=spec_,
+        val_nodes=val_nodes,
+        test_nodes=test_nodes,
+    )
+
+
+def load(name: str, *, scale: float = 1.0, seed: int = 0) -> Dataset:
+    """Load (generate) a named dataset.
+
+    Args:
+        name: one of :data:`DATASET_NAMES`.
+        scale: multiplies the default node count (DESIGN.md §6); the
+            structural statistics are scale-free.
+        seed: generation seed; identical arguments give identical data.
+    """
+    if scale <= 0:
+        raise DatasetError(f"scale must be positive, got {scale}")
+    return _load_cached(name, float(scale), int(seed))

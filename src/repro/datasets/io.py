@@ -1,0 +1,92 @@
+"""Dataset serialization: save/load generated datasets as ``.npz``.
+
+Generation of the largest stand-ins takes seconds; persisting them lets
+benchmark runs, notebooks, and separate processes share one generated
+instance (and pins the exact graph a result was produced on).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.catalog import Dataset, DatasetSpec, PaperStats
+from repro.errors import DatasetError
+from repro.graph.csr import CSRGraph
+
+
+def save_dataset(path: str | Path, dataset: Dataset) -> None:
+    """Write a dataset (graph, features, labels, split, spec) to disk."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    spec_json = json.dumps(
+        {
+            "name": dataset.spec.name,
+            "paper": asdict(dataset.spec.paper),
+            "base_nodes": dataset.spec.base_nodes,
+            "generator": dataset.spec.generator,
+            "gen_params": dataset.spec.gen_params,
+            "n_classes": dataset.spec.n_classes,
+            "feat_dim": dataset.spec.feat_dim,
+            "directed": dataset.spec.directed,
+            "scale": dataset.scale,
+            "dataset_name": dataset.name,
+            "dataset_n_classes": dataset.n_classes,
+        }
+    )
+    np.savez_compressed(
+        path,
+        indptr=dataset.graph.indptr,
+        indices=dataset.graph.indices,
+        features=dataset.features,
+        labels=dataset.labels,
+        train_nodes=dataset.train_nodes,
+        val_nodes=dataset.val_nodes,
+        test_nodes=dataset.test_nodes,
+        spec=np.frombuffer(spec_json.encode(), dtype=np.uint8),
+    )
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset saved by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    with np.load(path) as archive:
+        try:
+            meta = json.loads(archive["spec"].tobytes().decode())
+            graph = CSRGraph(archive["indptr"], archive["indices"])
+            features = archive["features"]
+            labels = archive["labels"]
+            train_nodes = archive["train_nodes"]
+            val_nodes = archive["val_nodes"]
+            test_nodes = archive["test_nodes"]
+        except KeyError as exc:
+            raise DatasetError(
+                f"{path} is not a saved dataset (missing {exc})"
+            ) from exc
+    spec = DatasetSpec(
+        name=meta["name"],
+        paper=PaperStats(**meta["paper"]),
+        base_nodes=meta["base_nodes"],
+        generator=meta["generator"],
+        gen_params=meta["gen_params"],
+        n_classes=meta["n_classes"],
+        feat_dim=meta["feat_dim"],
+        directed=meta["directed"],
+    )
+    return Dataset(
+        name=meta["dataset_name"],
+        graph=graph,
+        features=features,
+        labels=labels,
+        n_classes=meta["dataset_n_classes"],
+        train_nodes=train_nodes,
+        scale=meta["scale"],
+        spec=spec,
+        val_nodes=val_nodes,
+        test_nodes=test_nodes,
+    )

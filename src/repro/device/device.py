@@ -1,0 +1,145 @@
+"""The simulated GPU and a data-parallel multi-GPU wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.costmodel import GPUSpec, RTX6000_24GB, kernel_time, transfer_time
+from repro.device.memory import MemoryTracker
+from repro.errors import DeviceError
+
+
+class SimulatedGPU:
+    """A GPU with a memory budget, an allocation ledger, and a clock.
+
+    Args:
+        capacity_bytes: memory budget; defaults to the spec's capacity.
+            Experiments shrink this to model the paper's "memory budget"
+            sweeps (Fig. 15).
+        spec: hardware timing constants (defaults to the paper's RTX 6000).
+
+    The simulated clock (:attr:`sim_time_s`) advances through
+    :meth:`run_kernel` and :meth:`load` calls; CPU wall time is tracked by
+    the caller's :class:`~repro.device.profiler.Profiler`.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        *,
+        spec: GPUSpec = RTX6000_24GB,
+        name: str | None = None,
+    ) -> None:
+        self.spec = spec
+        self.name = name or spec.name
+        self.memory = MemoryTracker(
+            spec.capacity_bytes if capacity_bytes is None else capacity_bytes
+        )
+        self.sim_time_s = 0.0
+        self.kernel_count = 0
+        self.bytes_loaded = 0
+
+    # ------------------------------------------------------------------
+    # Memory (delegation)
+    # ------------------------------------------------------------------
+    def track(self, array: np.ndarray) -> None:
+        """Register a concrete tensor buffer with the ledger."""
+        self.memory.track(array)
+
+    def alloc(self, nbytes: int) -> int:
+        """Symbolic allocation; see :class:`MemoryTracker`."""
+        return self.memory.alloc(nbytes)
+
+    def free(self, handle: int) -> None:
+        self.memory.free(handle)
+
+    @property
+    def capacity(self) -> int | None:
+        return self.memory.capacity
+
+    @property
+    def live_bytes(self) -> int:
+        return self.memory.live_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.memory.peak_bytes
+
+    def reset_peak(self) -> None:
+        self.memory.reset_peak()
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def run_kernel(self, flops: float, bytes_moved: float) -> float:
+        """Advance the clock by one kernel; returns its duration."""
+        duration = kernel_time(self.spec, flops, bytes_moved)
+        self.sim_time_s += duration
+        self.kernel_count += 1
+        return duration
+
+    def load(self, nbytes: float) -> float:
+        """Advance the clock by a host->device transfer."""
+        duration = transfer_time(self.spec, nbytes)
+        self.sim_time_s += duration
+        self.bytes_loaded += int(nbytes)
+        return duration
+
+    def reset_clock(self) -> None:
+        self.sim_time_s = 0.0
+        self.kernel_count = 0
+        self.bytes_loaded = 0
+
+    def __repr__(self) -> str:
+        cap = self.capacity
+        cap_str = f"{cap / 2**30:.0f}GiB" if cap else "unlimited"
+        return f"SimulatedGPU({self.name}, capacity={cap_str})"
+
+
+class MultiGPU:
+    """Data-parallel group of simulated GPUs connected by PCIe.
+
+    Models the paper's §V-G setup: micro-batches are distributed across
+    devices; after each round the gradient all-reduce costs one
+    parameter-sized transfer per ring step over the inter-GPU link.
+    """
+
+    def __init__(
+        self,
+        n_devices: int,
+        capacity_bytes: int | None = None,
+        *,
+        spec: GPUSpec = RTX6000_24GB,
+        interconnect_bandwidth: float | None = None,
+    ) -> None:
+        if n_devices < 1:
+            raise DeviceError(f"need at least 1 device, got {n_devices}")
+        self.devices = [
+            SimulatedGPU(capacity_bytes, spec=spec, name=f"{spec.name}:{i}")
+            for i in range(n_devices)
+        ]
+        self.interconnect_bandwidth = (
+            interconnect_bandwidth
+            if interconnect_bandwidth is not None
+            else spec.pcie_bandwidth
+        )
+        self.allreduce_time_s = 0.0
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    def allreduce(self, nbytes: int) -> float:
+        """Ring all-reduce of ``nbytes``: 2 (n-1)/n traffic per device."""
+        n = self.n_devices
+        if n == 1:
+            return 0.0
+        traffic = 2.0 * (n - 1) / n * nbytes
+        duration = traffic / self.interconnect_bandwidth + 20e-6
+        self.allreduce_time_s += duration
+        return duration
+
+    @property
+    def sim_time_s(self) -> float:
+        """Data-parallel makespan: slowest device plus communication."""
+        return max(d.sim_time_s for d in self.devices) + self.allreduce_time_s

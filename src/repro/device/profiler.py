@@ -1,0 +1,70 @@
+"""Phase profiler: wall-clock for CPU phases, simulated time for GPU phases.
+
+The paper's breakdown figures (Fig. 5, Fig. 11) report per-phase times:
+partitioning / REG construction / connection check / block construction
+(all CPU, measured here with real clocks) plus data loading and GPU
+compute (simulated by the cost model).  The report labels each entry with
+its clock kind so results stay honest about what was measured vs modeled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseRecord:
+    """Accumulated time for one named phase."""
+
+    wall_s: float = 0.0
+    sim_s: float = 0.0
+    count: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.wall_s + self.sim_s
+
+
+@dataclass
+class Profiler:
+    """Accumulates per-phase wall and simulated time."""
+
+    phases: dict[str, PhaseRecord] = field(default_factory=dict)
+
+    def _record(self, name: str) -> PhaseRecord:
+        return self.phases.setdefault(name, PhaseRecord())
+
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        """Context manager measuring wall-clock time into ``name``."""
+        record = self._record(name)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.wall_s += time.perf_counter() - start
+            record.count += 1
+
+    def add_sim(self, name: str, seconds: float) -> None:
+        """Add simulated (cost-model) seconds to ``name``."""
+        record = self._record(name)
+        record.sim_s += seconds
+        record.count += 1
+
+    def total_s(self) -> float:
+        """End-to-end time across all phases."""
+        return sum(r.total_s for r in self.phases.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase name -> total seconds (wall + simulated)."""
+        return {name: r.total_s for name, r in self.phases.items()}
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's phases into this one."""
+        for name, record in other.phases.items():
+            mine = self._record(name)
+            mine.wall_s += record.wall_s
+            mine.sim_s += record.sim_s
+            mine.count += record.count

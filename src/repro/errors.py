@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Buffalo reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch
+library failures without masking programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph structure or graph operation."""
+
+
+class DatasetError(ReproError):
+    """Unknown dataset name or invalid dataset parameters."""
+
+
+class DeviceError(ReproError):
+    """Invalid simulated-device operation (double free, bad handle, ...)."""
+
+
+class DeviceOutOfMemoryError(DeviceError):
+    """Raised when an allocation would exceed the device memory budget.
+
+    Mirrors CUDA's OOM: the attempted allocation is rejected, existing
+    allocations stay live, and the caller may free memory and retry.
+
+    Attributes:
+        requested: bytes the failed allocation asked for.
+        live: bytes currently allocated on the device.
+        capacity: total device capacity in bytes.
+    """
+
+    def __init__(self, requested: int, live: int, capacity: int) -> None:
+        self.requested = int(requested)
+        self.live = int(live)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"device out of memory: requested {self.requested} B with "
+            f"{self.live} B live of {self.capacity} B capacity"
+        )
+
+
+class SchedulingError(ReproError):
+    """The Buffalo scheduler could not produce a feasible plan."""
+
+
+class PartitioningError(ReproError):
+    """A graph partitioner failed or was given invalid arguments."""
+
+
+class AutogradError(ReproError):
+    """Invalid autograd usage (backward on non-scalar, detached graph, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """Training diverged or produced non-finite values."""

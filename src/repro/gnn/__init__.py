@@ -1,0 +1,49 @@
+"""GNN framework substrate: blocks, degree bucketing, aggregators, models.
+
+This package supplies what DGL provides in the paper's implementation:
+message-flow-graph blocks (:mod:`block`), degree bucketing with a cut-off
+``F`` (:mod:`bucketing`), the baseline connection-check block generation
+(:mod:`block_gen`), bucket-wise aggregators including the memory-hungry
+LSTM (:mod:`aggregators`), and the GraphSAGE / GAT models (:mod:`sage`,
+:mod:`gat`).  Buffalo's accelerated block generation lives in
+:mod:`repro.core.fastblock`.
+"""
+
+from repro.gnn.block import Block
+from repro.gnn.bucketing import Bucket, bucketize_degrees, detect_explosion
+from repro.gnn.block_gen import generate_blocks_baseline
+from repro.gnn.aggregators import (
+    AGGREGATORS,
+    Aggregator,
+    LSTMAggregator,
+    MaxAggregator,
+    MeanAggregator,
+    PoolAggregator,
+    SumAggregator,
+    make_aggregator,
+)
+from repro.gnn.sage import GraphSAGE, SAGELayer
+from repro.gnn.gat import GAT, GATLayer
+from repro.gnn.gcn import GCN, GCNLayer
+
+__all__ = [
+    "Block",
+    "Bucket",
+    "bucketize_degrees",
+    "detect_explosion",
+    "generate_blocks_baseline",
+    "Aggregator",
+    "MeanAggregator",
+    "SumAggregator",
+    "MaxAggregator",
+    "PoolAggregator",
+    "LSTMAggregator",
+    "AGGREGATORS",
+    "make_aggregator",
+    "SAGELayer",
+    "GraphSAGE",
+    "GATLayer",
+    "GAT",
+    "GCNLayer",
+    "GCN",
+]

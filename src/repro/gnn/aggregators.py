@@ -1,0 +1,155 @@
+"""Bucket-wise neighbor aggregators.
+
+Each aggregator consumes one degree bucket at a time: the bucket's rows
+all share a sampled degree ``d``, so the gathered neighbor features form
+a dense ``(n, d, feat)`` tensor with no padding (the whole point of
+degree bucketing, paper §II-C).
+
+Memory profile per bucket (what the explosion bucket amplifies):
+
+* mean / sum / max — one gather ``(n, d, f)`` plus the reduction.
+* pool — gather + an MLP applied per neighbor: ``(n, d, hidden)``.
+* lstm — gather + ``d`` LSTM steps, each retaining its gate activations
+  for backward: memory grows with ``n * d * hidden``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.gnn.block import Block
+from repro.gnn.bucketing import Bucket
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTM
+from repro.nn.module import Module
+from repro.tensor.ops import gather_rows
+from repro.tensor.tensor import Tensor
+
+
+def _bucket_neighbor_tensor(
+    block: Block, bucket: Bucket, src_feats: Tensor
+) -> Tensor:
+    """Gather the ``(n, d, f)`` neighbor-feature tensor for a bucket."""
+    d = bucket.degree
+    starts = block.indptr[bucket.rows]
+    row_degrees = block.indptr[bucket.rows + 1] - starts
+    if np.any(row_degrees != d):
+        raise GraphError(
+            f"bucket labeled degree {d} contains rows of degrees "
+            f"{np.unique(row_degrees)}"
+        )
+    positions = block.indices[
+        starts[:, None] + np.arange(d, dtype=starts.dtype)
+    ]
+    return gather_rows(src_feats, positions)
+
+
+class Aggregator(Module):
+    """Base class: aggregates a bucket's neighbors into ``(n, out)``."""
+
+    def output_dim(self, in_dim: int) -> int:
+        """Feature width produced for ``in_dim``-wide inputs."""
+        return in_dim
+
+    def forward(
+        self, block: Block, bucket: Bucket, src_feats: Tensor
+    ) -> Tensor:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _empty(self, bucket: Bucket, src_feats: Tensor) -> Tensor:
+        out_dim = self.output_dim(int(src_feats.shape[1]))
+        return Tensor(
+            np.zeros((bucket.volume, out_dim), dtype=src_feats.dtype),
+            device=src_feats.device,
+        )
+
+
+class MeanAggregator(Aggregator):
+    """Average of neighbor features."""
+
+    def forward(self, block, bucket, src_feats):
+        if bucket.degree == 0:
+            return self._empty(bucket, src_feats)
+        return _bucket_neighbor_tensor(block, bucket, src_feats).mean(axis=1)
+
+
+class SumAggregator(Aggregator):
+    """Sum of neighbor features."""
+
+    def forward(self, block, bucket, src_feats):
+        if bucket.degree == 0:
+            return self._empty(bucket, src_feats)
+        return _bucket_neighbor_tensor(block, bucket, src_feats).sum(axis=1)
+
+
+class MaxAggregator(Aggregator):
+    """Elementwise max of neighbor features."""
+
+    def forward(self, block, bucket, src_feats):
+        if bucket.degree == 0:
+            return self._empty(bucket, src_feats)
+        return _bucket_neighbor_tensor(block, bucket, src_feats).max(axis=1)
+
+
+class PoolAggregator(Aggregator):
+    """Max-pool aggregator: per-neighbor MLP then elementwise max."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, *, rng=None) -> None:
+        self.in_dim = in_dim
+        self.hidden_dim = hidden_dim
+        self.mlp = Linear(in_dim, hidden_dim, rng=rng)
+
+    def output_dim(self, in_dim: int) -> int:
+        return self.hidden_dim
+
+    def forward(self, block, bucket, src_feats):
+        if bucket.degree == 0:
+            return self._empty(bucket, src_feats)
+        nbrs = _bucket_neighbor_tensor(block, bucket, src_feats)
+        n, d, f = nbrs.shape
+        hidden = self.mlp(nbrs.reshape(n * d, f)).relu()
+        return hidden.reshape(n, d, self.hidden_dim).max(axis=1)
+
+
+class LSTMAggregator(Aggregator):
+    """LSTM over the neighbor sequence (paper's memory-intensive case)."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, *, rng=None) -> None:
+        self.in_dim = in_dim
+        self.hidden_dim = hidden_dim
+        self.lstm = LSTM(in_dim, hidden_dim, rng=rng)
+
+    def output_dim(self, in_dim: int) -> int:
+        return self.hidden_dim
+
+    def forward(self, block, bucket, src_feats):
+        if bucket.degree == 0:
+            return self._empty(bucket, src_feats)
+        nbrs = _bucket_neighbor_tensor(block, bucket, src_feats)
+        return self.lstm(nbrs)
+
+
+#: Registry used by experiment configs ("mean", "lstm", ...).
+AGGREGATORS = {
+    "mean": MeanAggregator,
+    "sum": SumAggregator,
+    "max": MaxAggregator,
+    "pool": PoolAggregator,
+    "lstm": LSTMAggregator,
+}
+
+
+def make_aggregator(
+    name: str, in_dim: int, hidden_dim: int, *, rng=None
+) -> Aggregator:
+    """Instantiate an aggregator by registry name."""
+    try:
+        cls = AGGREGATORS[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown aggregator {name!r}; available: {sorted(AGGREGATORS)}"
+        ) from None
+    if cls in (PoolAggregator, LSTMAggregator):
+        return cls(in_dim, hidden_dim, rng=rng)
+    return cls()

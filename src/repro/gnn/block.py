@@ -1,0 +1,93 @@
+"""Message-flow-graph blocks (DGL's ``Block`` / MFG structure).
+
+A block describes one layer of aggregation: every *destination* node
+gathers from a row of *source* nodes.  Source ids follow the dst-prefix
+convention (``src_nodes[:n_dst] == dst_nodes``) so a layer's output
+tensor can be fed directly as the next layer's self-features, and
+consecutive blocks chain exactly: ``blocks[l].src_nodes`` equals
+``blocks[l - 1].dst_nodes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import INDEX_DTYPE
+from repro.errors import GraphError
+
+
+@dataclass
+class Block:
+    """One aggregation layer.
+
+    Attributes:
+        src_nodes: batch-local ids of source nodes; the first ``n_dst``
+            entries are the destination nodes themselves (dst-prefix).
+        dst_nodes: batch-local ids of destination nodes.
+        indptr: CSR offsets over destinations, shape ``(n_dst + 1,)``.
+        indices: positions into ``src_nodes`` (NOT node ids) of each
+            destination's sampled neighbors.
+    """
+
+    src_nodes: np.ndarray
+    dst_nodes: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.src_nodes = np.ascontiguousarray(self.src_nodes, INDEX_DTYPE)
+        self.dst_nodes = np.ascontiguousarray(self.dst_nodes, INDEX_DTYPE)
+        self.indptr = np.ascontiguousarray(self.indptr, INDEX_DTYPE)
+        self.indices = np.ascontiguousarray(self.indices, INDEX_DTYPE)
+
+    @property
+    def n_src(self) -> int:
+        return int(self.src_nodes.size)
+
+    @property
+    def n_dst(self) -> int:
+        return int(self.dst_nodes.size)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Sampled in-degree of each destination node."""
+        return np.diff(self.indptr)
+
+    def validate(self) -> None:
+        """Check structural invariants (used by tests and debug paths)."""
+        if self.indptr.size != self.n_dst + 1:
+            raise GraphError("indptr size must be n_dst + 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.n_edges:
+            raise GraphError("indptr bounds are inconsistent")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if self.n_edges and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_src
+        ):
+            raise GraphError("indices must point into src_nodes")
+        if not np.array_equal(self.src_nodes[: self.n_dst], self.dst_nodes):
+            raise GraphError("src_nodes must start with dst_nodes (dst-prefix)")
+
+    def neighbor_positions(self, row: int) -> np.ndarray:
+        """Positions into ``src_nodes`` of destination ``row``'s neighbors."""
+        return self.indices[self.indptr[row] : self.indptr[row + 1]]
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(n_dst={self.n_dst}, n_src={self.n_src}, "
+            f"n_edges={self.n_edges})"
+        )
+
+
+def chain_is_consistent(blocks: list[Block]) -> bool:
+    """True when consecutive blocks chain (layer l src == layer l-1 dst)."""
+    return all(
+        np.array_equal(blocks[i + 1].src_nodes, blocks[i].dst_nodes)
+        for i in range(len(blocks) - 1)
+    )

@@ -1,0 +1,228 @@
+"""Graph attention network (Veličković et al. 2018), bucket-vectorized.
+
+Within a degree bucket every destination has the same neighbor count, so
+attention scores form a dense ``(n, d)`` matrix and the softmax
+normalization is one vectorized op — the same bucketing benefit the
+paper exploits for GraphSAGE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.gnn.aggregators import _bucket_neighbor_tensor
+from repro.gnn.block import Block
+from repro.gnn.bucketing import Bucket, bucketize_degrees
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.tensor.functional import softmax
+from repro.tensor.ops import concat, gather_rows
+from repro.tensor.tensor import Tensor
+
+
+class GATLayer(Module):
+    """Single-head GAT layer.
+
+    Attention logits follow the GATv1 decomposition
+    ``e_ij = LeakyReLU(a_l . W h_i + a_r . W h_j)``; degree-0 rows fall
+    back to their own projected features.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        activation: bool = True,
+        negative_slope: float = 0.2,
+        rng=None,
+    ) -> None:
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.negative_slope = negative_slope
+        self.proj = Linear(in_dim, out_dim, bias=False, rng=rng)
+        self.attn_dst = Parameter(init.xavier_uniform((out_dim, 1), rng))
+        self.attn_src = Parameter(init.xavier_uniform((out_dim, 1), rng))
+        self.bias = Parameter(init.zeros((out_dim,)))
+
+    def forward(
+        self,
+        block: Block,
+        src_feats: Tensor,
+        cutoff: int,
+        buckets: list[Bucket] | None = None,
+    ) -> Tensor:
+        if src_feats.shape[0] != block.n_src:
+            raise GraphError(
+                f"src_feats rows ({src_feats.shape[0]}) must match "
+                f"block.n_src ({block.n_src})"
+            )
+        if buckets is None:
+            buckets = bucketize_degrees(block.degrees, cutoff)
+
+        projected = self.proj(src_feats)  # (n_src, out)
+        dst_scores = projected @ self.attn_dst  # (n_src, 1)
+        src_scores = projected @ self.attn_src  # (n_src, 1)
+
+        outputs: list[Tensor] = []
+        covered: list[np.ndarray] = []
+        for bucket in buckets:
+            covered.append(bucket.rows)
+            proj_dst = gather_rows(projected, bucket.rows)
+            if bucket.degree == 0:
+                outputs.append(proj_dst)
+                continue
+            nbr_proj = _bucket_neighbor_tensor(block, bucket, projected)
+            # (n, d) attention logits.
+            e_dst = gather_rows(dst_scores, bucket.rows)  # (n, 1)
+            starts = block.indptr[bucket.rows]
+            positions = block.indices[
+                starts[:, None] + np.arange(bucket.degree, dtype=starts.dtype)
+            ]
+            e_src = gather_rows(src_scores, positions).reshape(
+                bucket.volume, bucket.degree
+            )
+            logits = (e_dst + e_src).leaky_relu(self.negative_slope)
+            alpha = softmax(logits, axis=1)  # (n, d)
+            weighted = nbr_proj * alpha.reshape(
+                bucket.volume, bucket.degree, 1
+            )
+            outputs.append(weighted.sum(axis=1))
+
+        stacked = outputs[0] if len(outputs) == 1 else concat(outputs, axis=0)
+        order = np.concatenate(covered)
+        inverse = np.empty(block.n_dst, dtype=order.dtype)
+        inverse[order] = np.arange(block.n_dst, dtype=order.dtype)
+        out = gather_rows(stacked, inverse) + self.bias
+        if self.activation:
+            from repro.nn.activations import ELU
+
+            return ELU()(out)
+        return out
+
+
+class MultiHeadGATLayer(Module):
+    """Concatenated multi-head attention layer.
+
+    ``heads`` independent :class:`GATLayer` heads of width
+    ``out_dim // heads`` run over the same block; their outputs are
+    concatenated and (optionally) passed through ELU — the standard GAT
+    hidden-layer construction.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        heads: int,
+        *,
+        activation: bool = True,
+        rng=None,
+    ) -> None:
+        if heads < 1:
+            raise GraphError(f"heads must be >= 1, got {heads}")
+        if out_dim % heads != 0:
+            raise GraphError(
+                f"out_dim ({out_dim}) must be divisible by heads ({heads})"
+            )
+        self.heads = heads
+        self.activation = activation
+        per_head = out_dim // heads
+        self.head_layers = [
+            GATLayer(
+                in_dim,
+                per_head,
+                activation=False,
+                rng=None if rng is None else rng + 31 * h,
+            )
+            for h in range(heads)
+        ]
+
+    def forward(self, block, src_feats, cutoff, buckets=None):
+        from repro.tensor.ops import concat
+
+        outputs = [
+            head(block, src_feats, cutoff, buckets)
+            for head in self.head_layers
+        ]
+        out = outputs[0] if len(outputs) == 1 else concat(outputs, axis=1)
+        if self.activation:
+            from repro.nn.activations import ELU
+
+            return ELU()(out)
+        return out
+
+
+class GAT(Module):
+    """Multi-layer GAT over chained blocks.
+
+    Hidden layers use ``heads`` concatenated attention heads (total
+    width ``hidden_dim``); the output layer is single-head, as in the
+    original GAT.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        n_classes: int,
+        n_layers: int = 2,
+        *,
+        heads: int = 1,
+        rng=None,
+    ) -> None:
+        if n_layers < 1:
+            raise GraphError(f"n_layers must be >= 1, got {n_layers}")
+        self.in_dim = in_dim
+        self.hidden_dim = hidden_dim
+        self.n_classes = n_classes
+        self.n_layers = n_layers
+        self.heads = heads
+        self.aggregator_name = "attention"
+        dims = [in_dim] + [hidden_dim] * (n_layers - 1) + [n_classes]
+        self.layers = []
+        for i in range(n_layers):
+            is_output = i == n_layers - 1
+            layer_rng = None if rng is None else rng + i
+            if is_output or heads == 1:
+                self.layers.append(
+                    GATLayer(
+                        dims[i],
+                        dims[i + 1],
+                        activation=not is_output,
+                        rng=layer_rng,
+                    )
+                )
+            else:
+                self.layers.append(
+                    MultiHeadGATLayer(
+                        dims[i],
+                        dims[i + 1],
+                        heads,
+                        activation=True,
+                        rng=layer_rng,
+                    )
+                )
+
+    def forward(
+        self,
+        blocks: list[Block],
+        input_feats: Tensor,
+        cutoffs: list[int],
+        buckets_per_layer: list[list[Bucket]] | None = None,
+    ) -> Tensor:
+        if len(blocks) != self.n_layers:
+            raise GraphError(
+                f"model has {self.n_layers} layers but got "
+                f"{len(blocks)} blocks"
+            )
+        h = input_feats
+        for i, (block, layer) in enumerate(zip(blocks, self.layers)):
+            buckets = (
+                buckets_per_layer[i] if buckets_per_layer is not None else None
+            )
+            h = layer(block, h, cutoffs[i], buckets)
+        return h

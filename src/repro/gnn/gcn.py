@@ -1,0 +1,165 @@
+"""Graph convolutional network (Kipf & Welling 2017), bucket-vectorized.
+
+Uses the symmetric normalization over the *sampled* block: the message
+from source ``u`` to destination ``v`` is weighted by
+``1 / sqrt((d_v + 1)(d_u + 1))`` and a self-loop term ``1 / (d_v + 1)``
+adds the destination's own features, where degrees are the sampled
+in-degrees within the block (source nodes outside the dst-prefix have
+no sampled in-edges at this layer and count as degree 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.errors import GraphError
+from repro.gnn.block import Block
+from repro.gnn.bucketing import Bucket, bucketize_degrees
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor.ops import concat, gather_rows
+from repro.tensor.tensor import Tensor
+
+
+class GCNLayer(Module):
+    """One graph convolution: ``h' = act(W . norm-agg(h))``."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        activation: bool = True,
+        rng=None,
+    ) -> None:
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.linear = Linear(in_dim, out_dim, rng=rng)
+
+    def forward(
+        self,
+        block: Block,
+        src_feats: Tensor,
+        cutoff: int,
+        buckets: list[Bucket] | None = None,
+        src_degrees: np.ndarray | None = None,
+    ) -> Tensor:
+        """Convolve one layer.
+
+        Args:
+            src_degrees: the sampled in-degree of each source node *in
+            the batch subgraph* (partition-invariant — supplied by
+            :class:`GCN` from the previous block in the chain).  When
+            omitted, sources default to degree 0 (input-layer leaves),
+            which is exact for the input-most layer.
+        """
+        if src_feats.shape[0] != block.n_src:
+            raise GraphError(
+                f"src_feats rows ({src_feats.shape[0]}) must match "
+                f"block.n_src ({block.n_src})"
+            )
+        if buckets is None:
+            buckets = bucketize_degrees(block.degrees, cutoff)
+
+        if src_degrees is None:
+            src_degrees = np.zeros(block.n_src, dtype=FLOAT_DTYPE)
+        else:
+            src_degrees = np.asarray(src_degrees, dtype=FLOAT_DTYPE)
+            if src_degrees.shape != (block.n_src,):
+                raise GraphError(
+                    f"src_degrees shape {src_degrees.shape} must be "
+                    f"({block.n_src},)"
+                )
+
+        outputs: list[Tensor] = []
+        covered: list[np.ndarray] = []
+        for bucket in buckets:
+            covered.append(bucket.rows)
+            d = bucket.degree
+            dst_norm = 1.0 / (d + 1.0)
+            h_dst = gather_rows(src_feats, bucket.rows)
+            self_term = h_dst * float(dst_norm)
+            if d == 0:
+                outputs.append(self_term)
+                continue
+            starts = block.indptr[bucket.rows]
+            positions = block.indices[
+                starts[:, None] + np.arange(d, dtype=starts.dtype)
+            ]
+            nbrs = gather_rows(src_feats, positions)  # (n, d, f)
+            coeff = (
+                1.0
+                / np.sqrt(
+                    (d + 1.0) * (src_degrees[positions] + 1.0)
+                )
+            ).astype(FLOAT_DTYPE)
+            weighted = nbrs * Tensor(
+                coeff[:, :, None], device=src_feats.device
+            )
+            outputs.append(weighted.sum(axis=1) + self_term)
+
+        stacked = outputs[0] if len(outputs) == 1 else concat(outputs, axis=0)
+        order = np.concatenate(covered)
+        inverse = np.empty(block.n_dst, dtype=order.dtype)
+        inverse[order] = np.arange(block.n_dst, dtype=order.dtype)
+        out = self.linear(gather_rows(stacked, inverse))
+        return out.relu() if self.activation else out
+
+
+class GCN(Module):
+    """Multi-layer GCN over chained blocks."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        n_classes: int,
+        n_layers: int = 2,
+        *,
+        rng=None,
+    ) -> None:
+        if n_layers < 1:
+            raise GraphError(f"n_layers must be >= 1, got {n_layers}")
+        self.in_dim = in_dim
+        self.hidden_dim = hidden_dim
+        self.n_classes = n_classes
+        self.n_layers = n_layers
+        self.aggregator_name = "gcn"
+        dims = [in_dim] + [hidden_dim] * (n_layers - 1) + [n_classes]
+        self.layers = [
+            GCNLayer(
+                dims[i],
+                dims[i + 1],
+                activation=(i < n_layers - 1),
+                rng=None if rng is None else rng + i,
+            )
+            for i in range(n_layers)
+        ]
+
+    def forward(
+        self,
+        blocks: list[Block],
+        input_feats: Tensor,
+        cutoffs: list[int],
+        buckets_per_layer: list[list[Bucket]] | None = None,
+    ) -> Tensor:
+        if len(blocks) != self.n_layers:
+            raise GraphError(
+                f"model has {self.n_layers} layers but got "
+                f"{len(blocks)} blocks"
+            )
+        h = input_feats
+        for i, (block, layer) in enumerate(zip(blocks, self.layers)):
+            buckets = (
+                buckets_per_layer[i] if buckets_per_layer is not None else None
+            )
+            # Source degrees from the chain: blocks[i].src_nodes equals
+            # blocks[i-1].dst_nodes, whose sampled degrees come from the
+            # batch subgraph and are therefore identical no matter how
+            # the output layer was partitioned (keeps micro-batch
+            # training exactly equivalent to full-batch).
+            src_degrees = blocks[i - 1].degrees if i > 0 else None
+            h = layer(block, h, cutoffs[i], buckets, src_degrees)
+        return h

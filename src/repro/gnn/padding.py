@@ -1,0 +1,69 @@
+"""Padding-based aggregation (the PyG-style baseline, paper §II-C).
+
+Without degree bucketing, the framework pads every destination row to the
+block's maximum degree and aggregates a single ``(n_dst, max_d, feat)``
+tensor with a validity mask.  On power-law graphs ``max_d`` is set by the
+hub nodes, so padded memory dwarfs the bucketed footprint — this is the
+baseline whose waste degree bucketing exists to remove.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE
+from repro.errors import GraphError
+from repro.gnn.block import Block
+from repro.tensor.ops import gather_rows
+from repro.tensor.tensor import Tensor
+
+
+def padded_neighbor_tensor(
+    block: Block, src_feats: Tensor
+) -> tuple[Tensor, np.ndarray]:
+    """Gather all destinations' neighbors padded to the max degree.
+
+    Returns ``(features, mask)`` where ``features`` is
+    ``(n_dst, max_d, f)`` (padding rows point at source 0 and are zeroed
+    by the mask) and ``mask`` is the ``(n_dst, max_d)`` validity matrix.
+    """
+    degrees = block.degrees
+    if block.n_dst == 0:
+        raise GraphError("padded aggregation over an empty block")
+    max_d = int(degrees.max()) if degrees.size else 0
+    if max_d == 0:
+        out_dim = int(src_feats.shape[1])
+        return (
+            Tensor(
+                np.zeros((block.n_dst, 0, out_dim), dtype=FLOAT_DTYPE),
+                device=src_feats.device,
+            ),
+            np.zeros((block.n_dst, 0), dtype=FLOAT_DTYPE),
+        )
+
+    positions = np.zeros((block.n_dst, max_d), dtype=block.indices.dtype)
+    mask = np.zeros((block.n_dst, max_d), dtype=FLOAT_DTYPE)
+    for row in range(block.n_dst):
+        nbrs = block.neighbor_positions(row)
+        positions[row, : nbrs.size] = nbrs
+        mask[row, : nbrs.size] = 1.0
+
+    feats = gather_rows(src_feats, positions)
+    masked = feats * Tensor(mask[:, :, None], device=src_feats.device)
+    return masked, mask
+
+
+def padded_mean(block: Block, src_feats: Tensor) -> Tensor:
+    """Mean aggregation over the padded tensor (mask-normalized)."""
+    feats, mask = padded_neighbor_tensor(block, src_feats)
+    if feats.shape[1] == 0:
+        return Tensor(
+            np.zeros(
+                (block.n_dst, int(src_feats.shape[1])), dtype=FLOAT_DTYPE
+            ),
+            device=src_feats.device,
+        )
+    counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+    return feats.sum(axis=1) * Tensor(
+        (1.0 / counts).astype(FLOAT_DTYPE), device=src_feats.device
+    )

@@ -1,0 +1,33 @@
+"""Graph substrate: CSR storage, construction, metrics, and sampling.
+
+This package provides the graph machinery that DGL supplies in the paper's
+implementation: a compressed-sparse-row adjacency structure
+(:class:`~repro.graph.csr.CSRGraph`), edge-list construction helpers,
+structural metrics (clustering coefficient, power-law fit), induced
+subgraphs, and fanout-based neighbor sampling.
+"""
+
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.metrics import (
+    average_clustering,
+    degree_histogram,
+    fit_power_law,
+    is_power_law,
+)
+from repro.graph.sampling import SampledBatch, sample_batch, sample_neighbors
+from repro.graph.subgraph import induced_subgraph, khop_in_nodes
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_list",
+    "average_clustering",
+    "degree_histogram",
+    "fit_power_law",
+    "is_power_law",
+    "SampledBatch",
+    "sample_batch",
+    "sample_neighbors",
+    "induced_subgraph",
+    "khop_in_nodes",
+]

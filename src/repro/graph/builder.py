@@ -1,0 +1,84 @@
+"""Construct :class:`~repro.graph.csr.CSRGraph` objects from edge lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import INDEX_DTYPE
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+
+def from_edge_list(
+    src: np.ndarray,
+    dst: np.ndarray,
+    n_nodes: int | None = None,
+    *,
+    symmetrize: bool = False,
+    dedup: bool = True,
+    drop_self_loops: bool = True,
+) -> CSRGraph:
+    """Build a CSR graph from parallel ``src``/``dst`` arrays.
+
+    Each pair ``(src[i], dst[i])`` is a directed edge: ``src[i]`` becomes an
+    in-neighbor of ``dst[i]`` (i.e. ``dst`` aggregates from ``src``).
+
+    Args:
+        src: source node ids.
+        dst: destination node ids, same length as ``src``.
+        n_nodes: total node count; inferred as ``max(id) + 1`` when omitted.
+        symmetrize: also add every reverse edge (undirected graph).
+        dedup: drop duplicate edges.
+        drop_self_loops: drop edges with ``src == dst``.
+
+    Returns:
+        A validated :class:`CSRGraph` with sorted, duplicate-free rows
+        (when ``dedup`` is set).
+    """
+    src = np.asarray(src, dtype=INDEX_DTYPE).ravel()
+    dst = np.asarray(dst, dtype=INDEX_DTYPE).ravel()
+    if src.shape != dst.shape:
+        raise GraphError(
+            f"src and dst must have equal length; got {src.size} and {dst.size}"
+        )
+    if src.size and (src.min() < 0 or dst.min() < 0):
+        raise GraphError("node ids must be non-negative")
+
+    if n_nodes is None:
+        n_nodes = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    elif src.size and max(src.max(), dst.max()) >= n_nodes:
+        raise GraphError(
+            f"edge references node >= n_nodes ({n_nodes})"
+        )
+
+    if symmetrize:
+        src, dst = (
+            np.concatenate([src, dst]),
+            np.concatenate([dst, src]),
+        )
+
+    if drop_self_loops and src.size:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+
+    # Sort by (dst, src) so rows come out sorted; dedup with a shift compare.
+    order = np.lexsort((src, dst))
+    src, dst = src[order], dst[order]
+    if dedup and src.size:
+        keep = np.empty(src.size, dtype=bool)
+        keep[0] = True
+        np.logical_or(src[1:] != src[:-1], dst[1:] != dst[:-1], out=keep[1:])
+        src, dst = src[keep], dst[keep]
+
+    counts = np.bincount(dst, minlength=n_nodes)
+    indptr = np.zeros(n_nodes + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(indptr, src, validate=False)
+
+
+def to_edge_list(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`from_edge_list`: return ``(src, dst)`` arrays."""
+    dst = np.repeat(
+        np.arange(graph.n_nodes, dtype=INDEX_DTYPE), graph.degrees
+    )
+    return graph.indices.copy(), dst

@@ -1,0 +1,153 @@
+"""Compressed-sparse-row graph storage.
+
+The CSR layout stores, for every node ``v``, the contiguous slice
+``indices[indptr[v]:indptr[v + 1]]`` holding the *in-neighbors* of ``v`` —
+the nodes whose messages ``v`` aggregates during GNN message passing.  For
+undirected graphs (built with ``symmetrize=True``) in- and out-neighbors
+coincide.
+
+All node ids are dense integers in ``[0, n_nodes)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.config import INDEX_DTYPE
+from repro.errors import GraphError
+
+
+class CSRGraph:
+    """An immutable graph in CSR form.
+
+    Args:
+        indptr: int64 array of shape ``(n_nodes + 1,)``; monotone,
+            ``indptr[0] == 0``.
+        indices: int64 array of shape ``(n_edges,)``; neighbor lists are
+            sorted ascending within each row and contain no duplicates.
+        validate: when True (default), check the invariants above.
+
+    The constructor does not copy its inputs; callers must not mutate the
+    arrays afterwards.
+    """
+
+    __slots__ = ("indptr", "indices", "_degrees")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=INDEX_DTYPE)
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        self._degrees: np.ndarray | None = None
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise GraphError("indptr and indices must be 1-D arrays")
+        if self.indptr.size == 0:
+            raise GraphError("indptr must have at least one element")
+        if self.indptr[0] != 0:
+            raise GraphError("indptr must start at 0")
+        if self.indptr[-1] != self.indices.size:
+            raise GraphError(
+                f"indptr[-1] ({self.indptr[-1]}) must equal the number of "
+                f"edges ({self.indices.size})"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if self.indices.size:
+            lo, hi = self.indices.min(), self.indices.max()
+            if lo < 0 or hi >= self.n_nodes:
+                raise GraphError(
+                    f"neighbor ids must lie in [0, {self.n_nodes}); "
+                    f"found range [{lo}, {hi}]"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return int(self.indptr.size - 1)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges (adjacency entries)."""
+        return int(self.indices.size)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """In-degree of every node, shape ``(n_nodes,)`` (cached)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
+
+    def degree(self, node: int) -> int:
+        """In-degree of a single node."""
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """In-neighbors of ``node`` as a read-only view."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def neighbor_slices(self, nodes: np.ndarray) -> Iterator[np.ndarray]:
+        """Yield the neighbor array of each node in ``nodes``."""
+        for node in np.asarray(nodes):
+            yield self.neighbors(int(node))
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """True when ``src`` is an in-neighbor of ``dst``.
+
+        Uses binary search; rows are sorted by construction.
+        """
+        row = self.neighbors(dst)
+        pos = np.searchsorted(row, src)
+        return bool(pos < row.size and row[pos] == src)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """Return the graph with every edge direction flipped.
+
+        The result stores out-neighbors where this graph stores
+        in-neighbors (and vice versa).
+        """
+        dst = np.repeat(np.arange(self.n_nodes, dtype=INDEX_DTYPE), self.degrees)
+        order = np.argsort(self.indices, kind="stable")
+        rev_counts = np.bincount(self.indices, minlength=self.n_nodes)
+        rev_indptr = np.zeros(self.n_nodes + 1, dtype=INDEX_DTYPE)
+        np.cumsum(rev_counts, out=rev_indptr[1:])
+        rev_indices = dst[order]
+        # Sort each row: indices within a row arrive in dst order which is
+        # already ascending because `order` is a stable sort on src.
+        return CSRGraph(rev_indptr, rev_indices, validate=False)
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return np.array_equal(self.indptr, other.indptr) and np.array_equal(
+            self.indices, other.indices
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Bytes occupied by the CSR arrays."""
+        return int(self.indptr.nbytes + self.indices.nbytes)

@@ -1,0 +1,30 @@
+"""Neural-network layers and optimizers over the autograd engine."""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTM, LSTMCell
+from repro.nn.activations import ELU, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.dropout import Dropout
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "LSTM",
+    "LSTMCell",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "ELU",
+    "LeakyReLU",
+    "Dropout",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "init",
+]

@@ -1,0 +1,42 @@
+"""Activation modules (thin wrappers over tensor methods)."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.2) -> None:
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class ELU(Module):
+    """ELU via composition: x for x > 0, alpha (e^x - 1) otherwise."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.tensor.ops import where
+
+        positive = x.data > 0
+        return where(positive, x, (x.exp() - 1.0) * self.alpha)

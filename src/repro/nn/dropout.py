@@ -1,0 +1,32 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+from repro.config import rng_from
+from repro.errors import ReproError
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class Dropout(Module):
+    """Inverted dropout: zero with probability ``p``, scale by 1/(1-p).
+
+    Active only in training mode (:meth:`Module.train`); an identity in
+    eval mode.  The mask RNG is owned by the layer so runs are
+    reproducible given the construction seed.
+    """
+
+    def __init__(self, p: float = 0.5, *, seed: int | None = None) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ReproError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng_from(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (
+            self._rng.random(x.shape) < keep
+        ).astype(x.data.dtype) / keep
+        return x * Tensor(mask, device=x.device)

@@ -1,0 +1,43 @@
+"""Seeded weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import FLOAT_DTYPE, rng_from
+
+
+def xavier_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator | int | None = None,
+    *,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    rng = rng_from(rng)
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(FLOAT_DTYPE)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """He uniform: U(-a, a) with a = sqrt(6 / fan_in)."""
+    rng = rng_from(rng)
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(FLOAT_DTYPE)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=FLOAT_DTYPE)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = int(shape[-1])
+    return fan_in, fan_out

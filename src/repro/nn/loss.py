@@ -1,0 +1,37 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.functional import cross_entropy_with_logits
+from repro.tensor.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Cross entropy over logits with integer targets.
+
+    Args:
+        reduction: ``"mean"``, ``"sum"``, or ``"none"``.  Micro-batch
+            training uses ``"sum"`` plus an explicit division by the total
+            output-node count, so gradient accumulation across bucket
+            groups reproduces the full-batch mean exactly (DESIGN.md §5).
+    """
+
+    def __init__(self, reduction: str = "mean") -> None:
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy_with_logits(
+            logits, targets, reduction=self.reduction
+        )
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target_t = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target_t
+        return (diff * diff).mean()

@@ -1,0 +1,142 @@
+"""Module/Parameter base classes (the ``torch.nn.Module`` substrate)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor; modules expose these to optimizers."""
+
+    def __init__(self, data, *, device=None) -> None:
+        super().__init__(data, requires_grad=True, device=device)
+
+
+class Module:
+    """Base class with recursive parameter discovery.
+
+    Submodules and parameters are found by attribute inspection, so a
+    subclass simply assigns ``self.linear = Linear(...)`` and
+    ``parameters()`` finds everything.  Modules start in training mode;
+    :meth:`eval` / :meth:`train` toggle it recursively (consumed by
+    stochastic layers such as :class:`~repro.nn.dropout.Dropout`).
+    """
+
+    #: Training-mode flag (class default; instances override via train()).
+    training: bool = True
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every submodule (depth-first)."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its submodules."""
+        seen: set[int] = set()
+        yield from self._parameters(seen)
+
+    def _parameters(self, seen: set[int]) -> Iterator[Parameter]:
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield value
+            elif isinstance(value, Module):
+                yield from value._parameters(seen)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item._parameters(seen)
+                    elif isinstance(item, Parameter) and id(item) not in seen:
+                        seen.add(id(item))
+                        yield item
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.parameters():
+            p.grad = None
+
+    def n_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name -> array mapping of all parameters (copied)."""
+        out: dict[str, np.ndarray] = {}
+        self._state_dict("", out)
+        return out
+
+    def _state_dict(self, prefix: str, out: dict[str, np.ndarray]) -> None:
+        for name, value in vars(self).items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                out[key] = value.data.copy()
+            elif isinstance(value, Module):
+                value._state_dict(f"{key}.", out)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._state_dict(f"{key}.{i}.", out)
+                    elif isinstance(item, Parameter):
+                        out[f"{key}.{i}"] = item.data.copy()
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (shapes must match)."""
+        current = {}
+        self._collect_named(prefix="", out=current)
+        for key, array in state.items():
+            param = current[key]
+            if param.data.shape != array.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: "
+                    f"{param.data.shape} vs {array.shape}"
+                )
+            param.data = array.astype(param.data.dtype).copy()
+
+    def _collect_named(self, prefix: str, out: dict[str, Parameter]) -> None:
+        for name, value in vars(self).items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                out[key] = value
+            elif isinstance(value, Module):
+                value._collect_named(f"{key}.", out)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._collect_named(f"{key}.{i}.", out)
+                    elif isinstance(item, Parameter):
+                        out[f"{key}.{i}"] = item
+
+    def to_device(self, device) -> "Module":
+        """Register every parameter buffer with a simulated device."""
+        for p in self.parameters():
+            p.device = device
+            if device is not None:
+                device.track(p.data)
+        return self
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

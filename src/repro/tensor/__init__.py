@@ -1,0 +1,30 @@
+"""A minimal reverse-mode autograd engine over numpy.
+
+This is the substrate that PyTorch provides in the paper's implementation:
+tensors with gradients, broadcasting-aware arithmetic, and the reductions
+and indexing needed by GNN message passing.  Every tensor can be attached
+to a :class:`repro.device.SimulatedGPU`, whose allocation ledger then
+observes the true byte size of every activation the model creates — that
+ledger is the "actual GPU memory" the paper's Table III validates against.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad
+from repro.tensor.ops import concat, gather_rows, stack, where, zeros_like
+from repro.tensor.functional import (
+    cross_entropy_with_logits,
+    log_softmax,
+    softmax,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "concat",
+    "stack",
+    "gather_rows",
+    "where",
+    "zeros_like",
+    "softmax",
+    "log_softmax",
+    "cross_entropy_with_logits",
+]

@@ -1,0 +1,60 @@
+"""Model evaluation: inference over sampled blocks and accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fastblock import generate_blocks_fast
+from repro.datasets.catalog import Dataset
+from repro.errors import ReproError
+from repro.graph.sampling import sample_batch
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the label."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.shape[0] != labels.shape[0]:
+        raise ReproError(
+            f"logits rows ({logits.shape[0]}) must match labels "
+            f"({labels.shape[0]})"
+        )
+    if logits.shape[0] == 0:
+        raise ReproError("accuracy of an empty prediction set")
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def evaluate(
+    model: Module,
+    dataset: Dataset,
+    nodes: np.ndarray,
+    fanouts: list[int],
+    *,
+    seed: int = 0,
+    batch_size: int = 512,
+) -> float:
+    """Sampled-inference accuracy of ``model`` on ``nodes``.
+
+    Runs under :func:`~repro.tensor.no_grad` (no activation retention),
+    in seed batches to bound memory, using the model's own fanouts as
+    bucketing cut-offs.
+    """
+    nodes = np.asarray(nodes)
+    if nodes.size == 0:
+        raise ReproError("evaluate needs at least one node")
+    correct = 0
+    cutoffs = list(reversed(fanouts))
+    with no_grad():
+        for start in range(0, nodes.size, batch_size):
+            seeds = np.sort(nodes[start : start + batch_size])
+            batch = sample_batch(dataset.graph, seeds, fanouts, rng=seed)
+            blocks = generate_blocks_fast(batch)
+            feats = Tensor(
+                dataset.features[batch.node_map[blocks[0].src_nodes]]
+            )
+            logits = model(blocks, feats, cutoffs)
+            labels = dataset.labels[batch.node_map[blocks[-1].dst_nodes]]
+            correct += int((logits.data.argmax(axis=1) == labels).sum())
+    return correct / nodes.size

@@ -1,0 +1,124 @@
+"""Tests for the multilevel METIS-substrate partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import WeightedGraph, metis_partition
+from repro.baselines.metis import edge_cut
+from repro.errors import PartitioningError
+
+
+def two_cliques(size=20, bridge_weight=0.1):
+    """Two dense cliques joined by one weak edge — the obvious bisection."""
+    src, dst, w = [], [], []
+    for offset in (0, size):
+        for i in range(size):
+            for j in range(i + 1, size):
+                src.append(offset + i)
+                dst.append(offset + j)
+                w.append(1.0)
+    src.append(0)
+    dst.append(size)
+    w.append(bridge_weight)
+    return WeightedGraph.from_edges(src, dst, w, 2 * size)
+
+
+def grid_graph(rows=12, cols=12):
+    src, dst = [], []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                src.append(v)
+                dst.append(v + 1)
+            if r + 1 < rows:
+                src.append(v)
+                dst.append(v + cols)
+    w = np.ones(len(src))
+    return WeightedGraph.from_edges(src, dst, w, rows * cols)
+
+
+class TestWeightedGraph:
+    def test_from_edges_symmetrizes(self):
+        g = WeightedGraph.from_edges([0], [1], [2.0], 3)
+        assert g.n_edges == 2
+        nbrs, w = g.neighbors(1)
+        assert list(nbrs) == [0]
+        assert w[0] == 2.0
+
+    def test_parallel_edges_merged(self):
+        g = WeightedGraph.from_edges([0, 0], [1, 1], [1.0, 3.0], 2)
+        _, w = g.neighbors(1)
+        assert w[0] == 4.0
+
+    def test_self_loops_dropped(self):
+        g = WeightedGraph.from_edges([0], [0], [1.0], 1)
+        assert g.n_edges == 0
+
+    def test_default_node_weights(self):
+        g = WeightedGraph.from_edges([0], [1], [1.0], 4)
+        np.testing.assert_array_equal(g.node_weights, 1.0)
+
+
+class TestPartitionQuality:
+    def test_two_cliques_split_cleanly(self):
+        g = two_cliques()
+        parts = metis_partition(g, 2, seed=0)
+        # Each clique should land (almost) entirely in one part.
+        first = parts[:20]
+        second = parts[20:]
+        assert len(np.unique(first)) == 1 or np.bincount(first).max() >= 18
+        assert len(np.unique(second)) == 1 or np.bincount(second).max() >= 18
+        assert edge_cut(g, parts) <= 5.0
+
+    def test_balance(self):
+        g = grid_graph()
+        parts = metis_partition(g, 4, seed=0)
+        counts = np.bincount(parts, minlength=4)
+        assert counts.min() >= 0.5 * counts.mean()
+        assert counts.max() <= 1.6 * counts.mean()
+
+    def test_beats_random_cut(self):
+        g = grid_graph()
+        rng = np.random.default_rng(0)
+        random_parts = rng.integers(0, 4, g.n_nodes)
+        metis_parts = metis_partition(g, 4, seed=0)
+        assert edge_cut(g, metis_parts) < edge_cut(g, random_parts)
+
+    def test_k_one_is_trivial(self):
+        g = grid_graph(4, 4)
+        parts = metis_partition(g, 1)
+        assert np.all(parts == 0)
+
+    def test_all_labels_in_range(self):
+        g = grid_graph(8, 8)
+        parts = metis_partition(g, 5, seed=1)
+        assert parts.min() >= 0
+        assert parts.max() < 5
+
+    def test_deterministic_with_seed(self):
+        g = grid_graph(8, 8)
+        a = metis_partition(g, 3, seed=42)
+        b = metis_partition(g, 3, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(PartitioningError):
+            metis_partition(grid_graph(3, 3), 0)
+
+    def test_empty_graph_raises(self):
+        g = WeightedGraph.from_edges([], [], [], 0)
+        with pytest.raises(PartitioningError):
+            metis_partition(g, 2)
+
+    def test_weighted_nodes_balance_by_weight(self):
+        # One heavy node should sit alone-ish in its part.
+        src = [0, 1, 2, 3]
+        dst = [1, 2, 3, 4]
+        w = [1.0] * 4
+        nw = np.array([10.0, 1.0, 1.0, 1.0, 1.0])
+        g = WeightedGraph.from_edges(src, dst, w, 5, nw)
+        parts = metis_partition(g, 2, seed=0)
+        heavy_part = parts[0]
+        companions = np.sum(parts == heavy_part) - 1
+        assert companions <= 2

@@ -1,0 +1,106 @@
+"""Tests for REG construction and Random/Range partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_reg, random_partition, range_partition
+from repro.baselines.reg import dependency_sets
+from repro.core import generate_blocks_fast
+from repro.datasets import directed_citation_graph, powerlaw_cluster_graph
+from repro.errors import PartitioningError
+from repro.graph import sample_batch
+
+
+@pytest.fixture(scope="module")
+def batch_and_blocks():
+    g = powerlaw_cluster_graph(400, 4, 0.5, seed=0)
+    batch = sample_batch(g, np.arange(30), [4, 4], rng=1)
+    return batch, generate_blocks_fast(batch)
+
+
+class TestDependencySets:
+    def test_one_set_per_output(self, batch_and_blocks):
+        _, blocks = batch_and_blocks
+        deps = dependency_sets(blocks)
+        assert len(deps) == blocks[-1].n_dst
+
+    def test_contains_self(self, batch_and_blocks):
+        _, blocks = batch_and_blocks
+        for out_row, dep in enumerate(dependency_sets(blocks)):
+            assert out_row in dep
+
+    def test_matches_micro_batch_inputs(self, batch_and_blocks):
+        batch, blocks = batch_and_blocks
+        deps = dependency_sets(blocks)
+        for row in (0, 5, 29):
+            mb_blocks = generate_blocks_fast(batch, np.array([row]))
+            assert deps[row].size == mb_blocks[0].n_src
+
+
+class TestREG:
+    def test_node_count_matches_outputs(self, batch_and_blocks):
+        _, blocks = batch_and_blocks
+        reg = build_reg(blocks, seed=0)
+        assert reg.n_nodes == blocks[-1].n_dst
+
+    def test_shared_dependencies_create_edges(self, batch_and_blocks):
+        _, blocks = batch_and_blocks
+        reg = build_reg(blocks, seed=0)
+        assert reg.n_edges > 0
+
+    def test_node_weights_are_dependency_sizes(self, batch_and_blocks):
+        _, blocks = batch_and_blocks
+        reg = build_reg(blocks, seed=0)
+        deps = dependency_sets(blocks)
+        np.testing.assert_array_equal(
+            reg.node_weights, [d.size for d in deps]
+        )
+
+    def test_zero_in_degree_breaks_reg(self):
+        # The Betty limitation on OGBN-papers-like graphs.
+        g = directed_citation_graph(300, 4, seed=0)
+        zero_in = np.flatnonzero(g.degrees == 0)[:5]
+        batch = sample_batch(g, zero_in, [4, 4], rng=0)
+        blocks = generate_blocks_fast(batch)
+        with pytest.raises(PartitioningError):
+            build_reg(blocks)
+
+    def test_pair_cap_limits_edges(self, batch_and_blocks):
+        _, blocks = batch_and_blocks
+        small = build_reg(blocks, pair_cap=2, seed=0)
+        large = build_reg(blocks, pair_cap=64, seed=0)
+        assert small.n_edges <= large.n_edges
+
+
+class TestStrategies:
+    def test_range_contiguous(self):
+        parts = range_partition(10, 3)
+        assert [list(p) for p in parts] == [
+            [0, 1, 2, 3],
+            [4, 5, 6],
+            [7, 8, 9],
+        ]
+
+    def test_random_partitions_everything(self):
+        parts = random_partition(50, 4, seed=0)
+        merged = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(merged, np.arange(50))
+
+    def test_random_is_shuffled(self):
+        parts = random_partition(100, 2, seed=0)
+        assert not np.array_equal(parts[0], np.arange(50))
+
+    def test_sizes_balanced(self):
+        for parts in (range_partition(47, 5), random_partition(47, 5, 1)):
+            sizes = [p.size for p in parts]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_k_larger_than_n(self):
+        parts = range_partition(3, 10)
+        assert len(parts) == 3
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(PartitioningError):
+            range_partition(10, 0)
+        with pytest.raises(PartitioningError):
+            random_partition(0, 2)

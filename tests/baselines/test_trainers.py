@@ -1,0 +1,224 @@
+"""End-to-end tests for the Betty, DGL, and PyG baseline trainers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BettyTrainer, DGLTrainer, PyGTrainer
+from repro.config import MiB
+from repro.datasets import load
+from repro.device import SimulatedGPU
+from repro.errors import DeviceOutOfMemoryError, PartitioningError
+from repro.gnn.footprint import ModelSpec
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("ogbn_arxiv", scale=0.02, seed=0)
+
+
+def spec_for(dataset, aggregator="mean"):
+    return ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, aggregator)
+
+
+class TestDGLTrainer:
+    def test_iteration_runs(self, dataset):
+        trainer = DGLTrainer(
+            dataset,
+            spec_for(dataset),
+            SimulatedGPU(capacity_bytes=2_000 * MiB),
+            fanouts=[5, 5],
+            seed=0,
+        )
+        it = trainer.run_iteration(dataset.train_nodes[:40])
+        assert it.result.loss > 0
+        assert it.result.n_micro_batches == 1
+
+    def test_oom_on_tiny_budget(self, dataset):
+        trainer = DGLTrainer(
+            dataset,
+            spec_for(dataset, "lstm"),
+            SimulatedGPU(capacity_bytes=2 * MiB),
+            fanouts=[5, 5],
+            seed=0,
+        )
+        with pytest.raises(DeviceOutOfMemoryError):
+            trainer.run_iteration(dataset.train_nodes[:60])
+
+    def test_loss_decreases(self, dataset):
+        trainer = DGLTrainer(
+            dataset, spec_for(dataset), None, fanouts=[5, 5], seed=0
+        )
+        losses = [
+            trainer.run_iteration(dataset.train_nodes[:40]).result.loss
+            for _ in range(6)
+        ]
+        assert losses[-1] < losses[0]
+
+
+class TestPyGTrainer:
+    def test_iteration_runs(self, dataset):
+        trainer = PyGTrainer(
+            dataset,
+            spec_for(dataset),
+            SimulatedGPU(capacity_bytes=2_000 * MiB),
+            fanouts=[5, 5],
+            seed=0,
+        )
+        it = trainer.run_iteration(dataset.train_nodes[:40])
+        assert np.isfinite(it.result.loss)
+
+    def test_padded_uses_more_memory_than_bucketed(self, dataset):
+        seeds = dataset.train_nodes[:60]
+        gpu_pyg = SimulatedGPU(capacity_bytes=4_000 * MiB)
+        pyg = PyGTrainer(
+            dataset, spec_for(dataset), gpu_pyg, fanouts=[8, 8], seed=0
+        )
+        pyg_peak = pyg.run_iteration(seeds).result.peak_bytes
+
+        gpu_dgl = SimulatedGPU(capacity_bytes=4_000 * MiB)
+        dgl = DGLTrainer(
+            dataset, spec_for(dataset), gpu_dgl, fanouts=[8, 8], seed=0
+        )
+        dgl_peak = dgl.run_iteration(seeds).result.peak_bytes
+        assert pyg_peak > dgl_peak
+
+    def test_oom_on_tiny_budget(self, dataset):
+        trainer = PyGTrainer(
+            dataset,
+            spec_for(dataset),
+            SimulatedGPU(capacity_bytes=MiB // 4),
+            fanouts=[5, 5],
+            seed=0,
+        )
+        with pytest.raises(DeviceOutOfMemoryError):
+            trainer.run_iteration(dataset.train_nodes[:60])
+
+
+class TestBettyTrainer:
+    def test_iteration_runs(self, dataset):
+        trainer = BettyTrainer(
+            dataset,
+            spec_for(dataset),
+            SimulatedGPU(capacity_bytes=2_000 * MiB),
+            fanouts=[5, 5],
+            n_micro_batches=3,
+            seed=0,
+        )
+        it = trainer.run_iteration(dataset.train_nodes[:40])
+        assert it.result.loss > 0
+        assert 1 <= it.n_micro_batches <= 3
+
+    def test_profiler_has_betty_phases(self, dataset):
+        trainer = BettyTrainer(
+            dataset,
+            spec_for(dataset),
+            None,
+            fanouts=[5, 5],
+            n_micro_batches=2,
+            seed=0,
+        )
+        it = trainer.run_iteration(dataset.train_nodes[:30])
+        phases = it.result.profiler.phases
+        for name in (
+            "reg_construction",
+            "metis_partition",
+            "connection_check",
+            "block_construction",
+        ):
+            assert name in phases, f"missing phase {name}"
+
+    def test_parts_cover_all_seeds(self, dataset):
+        trainer = BettyTrainer(
+            dataset,
+            spec_for(dataset),
+            None,
+            fanouts=[5, 5],
+            n_micro_batches=3,
+            seed=0,
+        )
+        it = trainer.run_iteration(dataset.train_nodes[:30])
+        assert it.parts.size == 30
+
+    def test_fails_on_papers_like_data(self):
+        papers = load("ogbn_papers", scale=0.02, seed=0)
+        zero_in = np.flatnonzero(papers.graph.degrees == 0)
+        assert zero_in.size > 0
+        seeds = np.sort(
+            np.concatenate([zero_in[:5], papers.train_nodes[:20]])
+        )
+        seeds = np.unique(seeds)
+        trainer = BettyTrainer(
+            papers,
+            spec_for(papers),
+            None,
+            fanouts=[5, 5],
+            n_micro_batches=2,
+            seed=0,
+        )
+        with pytest.raises(PartitioningError):
+            trainer.run_iteration(seeds)
+
+    def test_invalid_k_raises(self, dataset):
+        with pytest.raises(PartitioningError):
+            BettyTrainer(
+                dataset,
+                spec_for(dataset),
+                None,
+                fanouts=[5, 5],
+                n_micro_batches=0,
+            )
+
+    def test_auto_k_requires_budgeted_device(self, dataset):
+        with pytest.raises(PartitioningError):
+            BettyTrainer(
+                dataset,
+                spec_for(dataset),
+                None,
+                fanouts=[5, 5],
+                n_micro_batches="auto",
+            )
+
+    def test_auto_k_fits_budget(self, dataset):
+        # Probe an unconstrained run to pick a stressful budget.
+        probe = BettyTrainer(
+            dataset,
+            spec_for(dataset, "lstm"),
+            SimulatedGPU(capacity_bytes=10**12),
+            fanouts=[5, 5],
+            n_micro_batches=1,
+            seed=0,
+        )
+        peak = probe.run_iteration(
+            dataset.train_nodes[:40]
+        ).result.peak_bytes
+        budget = int(peak * 0.6)
+
+        trainer = BettyTrainer(
+            dataset,
+            spec_for(dataset, "lstm"),
+            SimulatedGPU(capacity_bytes=budget),
+            fanouts=[5, 5],
+            n_micro_batches="auto",
+            seed=0,
+        )
+        it = trainer.run_iteration(dataset.train_nodes[:40])
+        assert it.n_micro_batches >= 2
+        assert it.result.peak_bytes <= budget
+
+    def test_matches_full_batch_loss(self, dataset):
+        # Betty also preserves convergence (gradient accumulation).
+        seeds = dataset.train_nodes[:30]
+        betty = BettyTrainer(
+            dataset,
+            spec_for(dataset),
+            None,
+            fanouts=[5, 5],
+            n_micro_batches=3,
+            seed=0,
+        )
+        dgl = DGLTrainer(
+            dataset, spec_for(dataset), None, fanouts=[5, 5], seed=0
+        )
+        betty_loss = betty.run_iteration(seeds).result.loss
+        dgl_loss = dgl.run_iteration(seeds).result.loss
+        assert betty_loss == pytest.approx(dgl_loss, rel=1e-4)

@@ -1,0 +1,49 @@
+"""Smoke tests for light experiment modules at tiny scales.
+
+The full experiments run under ``pytest benchmarks/``; these quick
+versions guard the experiment *code paths* (structure of the outputs,
+parameter plumbing) inside the regular unit-test suite.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig01, fig04, fig08, fig09, tab02
+from repro.bench.harness import ExperimentOutput
+
+
+def _structure_ok(output: ExperimentOutput, name: str) -> None:
+    assert output.name == name
+    assert isinstance(output.table, str) and output.table
+    assert isinstance(output.data, dict) and output.data
+    assert isinstance(output.shape_checks, dict)
+
+
+class TestExperimentSmoke:
+    def test_fig01_tiny(self):
+        out = fig01.run(scale=0.1)
+        _structure_ok(out, "fig01")
+        assert "histogram" in out.data
+
+    def test_tab02_tiny(self):
+        out = tab02.run(scale=0.05)
+        _structure_ok(out, "tab02")
+        assert len(out.data) >= 6
+
+    def test_fig04_tiny(self):
+        out = fig04.run(scale=0.1)
+        _structure_ok(out, "fig04")
+        assert "arxiv" in out.data
+
+    def test_fig08_tiny(self):
+        out = fig08.run(n_seeds=80)
+        _structure_ok(out, "fig08")
+        out.assert_shape()  # structural result holds at any scale
+
+    def test_fig09_tiny(self):
+        out = fig09.run(n_seeds=200)
+        _structure_ok(out, "fig09")
+        assert out.data["k"] >= 2
+
+    def test_custom_params_plumb_through(self):
+        out = fig08.run(n_seeds=60, n_parts=3)
+        assert "3-way" in out.table

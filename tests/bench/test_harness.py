@@ -1,0 +1,127 @@
+"""Tests for the benchmark harness, reporting, and workload mapping."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ExperimentOutput,
+    budget_bytes,
+    format_table,
+    memory_scale,
+    run_guarded,
+    series_to_rows,
+    standard_seeds,
+    standard_spec,
+)
+from repro.bench.workloads import MAX_MEMORY_SCALE, load_bench
+from repro.config import GiB
+from repro.errors import DeviceOutOfMemoryError, PartitioningError
+
+
+class TestExperimentOutput:
+    def test_assert_shape_passes(self):
+        out = ExperimentOutput("x", "t", shape_checks={"a": True})
+        out.assert_shape()
+
+    def test_assert_shape_reports_failures(self):
+        out = ExperimentOutput(
+            "x", "table-text", shape_checks={"a": True, "b": False}
+        )
+        with pytest.raises(AssertionError, match="b"):
+            out.assert_shape()
+
+    def test_empty_checks_pass(self):
+        ExperimentOutput("x", "t").assert_shape()
+
+
+class TestRunGuarded:
+    def test_ok(self):
+        assert run_guarded(lambda: 42) == ("ok", 42)
+
+    def test_oom(self):
+        def boom():
+            raise DeviceOutOfMemoryError(1, 0, 1)
+
+        assert run_guarded(boom) == ("OOM", None)
+
+    def test_unsupported(self):
+        def fail():
+            raise PartitioningError("nope")
+
+        assert run_guarded(fail) == ("unsupported", None)
+
+    def test_other_errors_propagate(self):
+        def bug():
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            run_guarded(bug)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 0.333]])
+        lines = table.split("\n")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_title(self):
+        assert format_table(["a"], [[1]], title="T").startswith("T\n")
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.12345], [123.456], [0.0]])
+        assert "0.1234" in table or "0.1235" in table
+        assert "123" in table
+
+    def test_series_to_rows_sorted(self):
+        rows = series_to_rows({2: {"v": "b"}, 1: {"v": "a"}})
+        assert rows == [[1, "a"], [2, "b"]]
+
+
+class TestWorkloads:
+    def test_memory_scale_capped(self):
+        ds = load_bench("ogbn_papers", scale=0.05)
+        assert memory_scale(ds) == MAX_MEMORY_SCALE
+
+    def test_memory_scale_uncapped_small(self):
+        ds = load_bench("cora")
+        assert 1 <= memory_scale(ds) < MAX_MEMORY_SCALE
+
+    def test_budget_bytes_scales_linearly(self):
+        ds = load_bench("cora")
+        assert budget_bytes(ds, 48) == pytest.approx(
+            2 * budget_bytes(ds, 24), rel=0.01
+        )
+
+    def test_budget_floor(self):
+        ds = load_bench("ogbn_papers", scale=0.05)
+        assert budget_bytes(ds, 1e-9) == 10**6
+
+    def test_standard_spec_matches_dataset(self):
+        ds = load_bench("cora")
+        spec = standard_spec(ds)
+        assert spec.in_dim == ds.feat_dim
+        assert spec.n_classes == ds.n_classes
+        assert spec.aggregator == "lstm"
+
+    def test_standard_seeds_slicing(self):
+        ds = load_bench("cora")
+        assert standard_seeds(ds, 10).size == 10
+        assert standard_seeds(ds).size == ds.train_nodes.size
+        oversize = standard_seeds(ds, 10**9)
+        assert oversize.size == ds.train_nodes.size
+
+
+class TestPreparedBatch:
+    def test_prepare_batch_random_subset(self):
+        from repro.bench.experiments.common import prepare_batch
+
+        ds = load_bench("ogbn_arxiv", scale=0.1)
+        prep = prepare_batch(ds, [5, 5], n_seeds=50, seed=0)
+        assert prep.batch.n_seeds == 50
+        # Seeds must be a subset of the train split, not its prefix.
+        assert set(prep.batch.seeds_global) <= set(ds.train_nodes)
+        assert not np.array_equal(
+            prep.batch.seeds_global, np.sort(ds.train_nodes[:50])
+        )
+        assert len(prep.blocks) == 2

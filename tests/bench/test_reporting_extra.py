@@ -1,0 +1,75 @@
+"""Additional reporting/profiler/config coverage."""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.config import DEFAULT_SEED, rng_from
+from repro.device import Profiler
+
+
+class TestFormatTableEdges:
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        lines = table.split("\n")
+        assert len(lines) == 2  # header + rule
+
+    def test_mixed_types(self):
+        table = format_table(
+            ["x"], [[None], [True], ["text"], [3], [0.5]]
+        )
+        for token in ("None", "True", "text", "3", "0.5"):
+            assert token in table
+
+    def test_wide_cells_stretch_columns(self):
+        table = format_table(["h"], [["a-very-long-cell-value"]])
+        header, rule, row = table.split("\n")
+        assert len(header) == len(row)
+
+    def test_zero_float(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+    def test_large_float_rounded(self):
+        table = format_table(["x"], [[123456.789]])
+        assert "123457" in table or "123456" in table
+
+
+class TestRngFrom:
+    def test_none_uses_default_seed(self):
+        a = rng_from(None).random(4)
+        b = rng_from(DEFAULT_SEED).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert rng_from(gen) is gen
+
+    def test_int_seed_deterministic(self):
+        np.testing.assert_array_equal(
+            rng_from(7).random(3), rng_from(7).random(3)
+        )
+
+
+class TestProfilerRecords:
+    def test_total_counts_wall_and_sim(self):
+        prof = Profiler()
+        with prof.phase("a"):
+            pass
+        prof.add_sim("a", 2.0)
+        record = prof.phases["a"]
+        assert record.total_s == pytest.approx(record.wall_s + 2.0)
+        assert record.count == 2
+
+    def test_breakdown_is_fresh_dict(self):
+        prof = Profiler()
+        prof.add_sim("x", 1.0)
+        breakdown = prof.breakdown()
+        breakdown["x"] = 99.0
+        assert prof.phases["x"].sim_s == 1.0
+
+    def test_exception_inside_phase_still_recorded(self):
+        prof = Profiler()
+        with pytest.raises(RuntimeError):
+            with prof.phase("risky"):
+                raise RuntimeError("boom")
+        assert prof.phases["risky"].count == 1

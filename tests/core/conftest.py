@@ -1,0 +1,33 @@
+"""Shared fixtures for the Buffalo core tests: a power-law batch."""
+
+import numpy as np
+import pytest
+
+from repro.core import generate_blocks_fast
+from repro.datasets import powerlaw_cluster_graph
+from repro.gnn.footprint import ModelSpec
+from repro.graph import sample_batch
+
+CUTOFF = 6
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(800, 4, 0.5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def batch(graph):
+    return sample_batch(graph, np.arange(60), [CUTOFF, CUTOFF], rng=1)
+
+
+@pytest.fixture(scope="module")
+def blocks(batch):
+    return generate_blocks_fast(batch)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ModelSpec(
+        in_dim=16, hidden_dim=32, n_classes=5, n_layers=2, aggregator="lstm"
+    )

@@ -1,0 +1,112 @@
+"""End-to-end tests for the BuffaloTrainer facade."""
+
+import numpy as np
+import pytest
+
+from repro.config import MiB
+from repro.core import BuffaloTrainer
+from repro.datasets import load
+from repro.device import SimulatedGPU
+from repro.errors import SchedulingError
+from repro.gnn.footprint import ModelSpec
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("ogbn_arxiv", scale=0.02, seed=0)
+
+
+def make_trainer(dataset, budget_bytes, aggregator="mean", **kwargs):
+    spec = ModelSpec(
+        dataset.feat_dim, 16, dataset.n_classes, 2, aggregator
+    )
+    device = SimulatedGPU(capacity_bytes=budget_bytes)
+    return BuffaloTrainer(
+        dataset, spec, device, fanouts=[5, 5], seed=1, **kwargs
+    )
+
+
+class TestBuffaloTrainer:
+    def test_iteration_runs(self, dataset):
+        trainer = make_trainer(dataset, 2_000 * MiB)
+        report = trainer.run_iteration(dataset.train_nodes[:40])
+        assert report.result.loss > 0
+        assert report.n_micro_batches >= 1
+        assert report.result.peak_bytes > 0
+
+    def test_tight_budget_more_micro_batches(self, dataset):
+        seeds = dataset.train_nodes[:40]
+        loose = make_trainer(dataset, 4_000 * MiB)
+        loose_report = loose.run_iteration(seeds)
+        tight = make_trainer(
+            dataset,
+            4_000 * MiB,
+            memory_constraint=sum(loose_report.plan.estimated_bytes) / 4,
+        )
+        tight_report = tight.run_iteration(seeds)
+        assert tight_report.n_micro_batches > loose_report.n_micro_batches
+
+    def test_peak_respects_constraint_roughly(self, dataset):
+        seeds = dataset.train_nodes[:40]
+        trainer = make_trainer(dataset, 2_000 * MiB)
+        report = trainer.run_iteration(seeds)
+        # Concrete peak should not exceed the device capacity (no OOM was
+        # raised), and the estimator should be in the same regime.
+        assert report.result.peak_bytes <= 2_000 * MiB
+
+    def test_profiler_has_pipeline_phases(self, dataset):
+        trainer = make_trainer(dataset, 2_000 * MiB)
+        report = trainer.run_iteration(dataset.train_nodes[:30])
+        phases = report.result.profiler.phases
+        for name in (
+            "sampling",
+            "block_generation",
+            "buffalo_scheduling",
+            "forward_backward_wall",
+            "data_loading",
+            "gpu_compute",
+            "optimizer_step",
+        ):
+            assert name in phases, f"missing phase {name}"
+
+    def test_loss_curve_decreases(self, dataset):
+        trainer = make_trainer(dataset, 2_000 * MiB)
+        losses = trainer.train_epochs(8, dataset.train_nodes[:40])
+        assert losses[-1] < losses[0]
+
+    def test_feature_dim_mismatch_raises(self, dataset):
+        spec = ModelSpec(999, 16, dataset.n_classes, 2, "mean")
+        with pytest.raises(SchedulingError):
+            BuffaloTrainer(
+                dataset, spec, SimulatedGPU(), fanouts=[5, 5]
+            )
+
+    def test_fanout_count_mismatch_raises(self, dataset):
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+        with pytest.raises(SchedulingError):
+            BuffaloTrainer(dataset, spec, SimulatedGPU(), fanouts=[5])
+
+    def test_lstm_aggregator_end_to_end(self, dataset):
+        trainer = make_trainer(dataset, 4_000 * MiB, aggregator="lstm")
+        report = trainer.run_iteration(dataset.train_nodes[:20])
+        assert np.isfinite(report.result.loss)
+
+    def test_sim_time_advances(self, dataset):
+        trainer = make_trainer(dataset, 2_000 * MiB)
+        trainer.run_iteration(dataset.train_nodes[:30])
+        assert trainer.device.sim_time_s > 0
+
+    def test_per_micro_batch_peaks_reported(self, dataset):
+        seeds = dataset.train_nodes[:40]
+        loose = make_trainer(dataset, 4_000 * MiB)
+        loose_report = loose.run_iteration(seeds)
+        tight = make_trainer(
+            dataset,
+            4_000 * MiB,
+            memory_constraint=sum(loose_report.plan.estimated_bytes) / 4,
+        )
+        report = tight.run_iteration(seeds)
+        peaks = report.result.micro_batch_peaks
+        assert len(peaks) == report.n_micro_batches
+        assert all(p > 0 for p in peaks)
+        assert max(peaks) == report.result.peak_bytes

@@ -1,0 +1,121 @@
+"""Tests for data-parallel Buffalo training."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import budget_bytes
+from repro.core import BuffaloTrainer
+from repro.core.distributed import DataParallelBuffaloTrainer
+from repro.datasets import load
+from repro.device import MultiGPU, SimulatedGPU
+from repro.errors import SchedulingError
+from repro.gnn.footprint import ModelSpec
+from repro.nn.optim import Adam
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("ogbn_arxiv", scale=0.02, seed=0)
+
+
+def make_distributed(dataset, n_devices, *, lr=1e-2, seed=0):
+    spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+    budget = budget_bytes(dataset, 24)
+    group = MultiGPU(n_devices, capacity_bytes=budget)
+    return DataParallelBuffaloTrainer(
+        dataset, spec, group, fanouts=[5, 5], lr=lr, seed=seed
+    )
+
+
+class TestDataParallel:
+    def test_iteration_runs(self, dataset):
+        trainer = make_distributed(dataset, 2)
+        it = trainer.run_iteration(dataset.train_nodes[:60])
+        assert np.isfinite(it.loss)
+        assert len(it.per_device_peaks) == 2
+        assert it.sim_time_s > 0
+
+    def test_replicas_stay_synchronized(self, dataset):
+        trainer = make_distributed(dataset, 3)
+        for _ in range(3):
+            trainer.run_iteration(dataset.train_nodes[:60])
+        states = [r.state_dict() for r in trainer.replicas]
+        for key in states[0]:
+            for other in states[1:]:
+                np.testing.assert_array_equal(states[0][key], other[key])
+
+    def test_matches_single_device_loss(self, dataset):
+        """Data parallelism must not change the training math."""
+        seeds = dataset.train_nodes[:60]
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+        budget = budget_bytes(dataset, 24)
+
+        single = BuffaloTrainer(
+            dataset,
+            spec,
+            SimulatedGPU(capacity_bytes=budget),
+            fanouts=[5, 5],
+            seed=0,
+            optimizer=None,
+        )
+        single_losses = [
+            single.run_iteration(seeds).result.loss for _ in range(3)
+        ]
+
+        multi = make_distributed(dataset, 2, lr=1e-3, seed=0)
+        multi_losses = [
+            multi.run_iteration(seeds).loss for _ in range(3)
+        ]
+        np.testing.assert_allclose(
+            single_losses, multi_losses, rtol=1e-4, atol=1e-6
+        )
+
+    def test_loss_decreases(self, dataset):
+        trainer = make_distributed(dataset, 2)
+        losses = [
+            trainer.run_iteration(dataset.train_nodes[:60]).loss
+            for _ in range(8)
+        ]
+        assert losses[-1] < losses[0]
+
+    def test_comm_time_positive_multi_device(self, dataset):
+        it = make_distributed(dataset, 2).run_iteration(
+            dataset.train_nodes[:40]
+        )
+        assert it.comm_time_s > 0
+
+    def test_single_device_no_comm(self, dataset):
+        it = make_distributed(dataset, 1).run_iteration(
+            dataset.train_nodes[:40]
+        )
+        assert it.comm_time_s == 0.0
+
+    def test_feature_dim_mismatch_raises(self, dataset):
+        spec = ModelSpec(999, 16, dataset.n_classes, 2, "mean")
+        with pytest.raises(SchedulingError):
+            DataParallelBuffaloTrainer(
+                dataset, spec, MultiGPU(2), fanouts=[5, 5]
+            )
+
+    def test_peak_split_across_devices(self, dataset):
+        """With K >= 2, each device's peak is below the 1-device peak."""
+        seeds = dataset.train_nodes[:60]
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "lstm")
+        budget = budget_bytes(dataset, 24)
+
+        single_group = MultiGPU(1, capacity_bytes=budget)
+        single = DataParallelBuffaloTrainer(
+            dataset, spec, single_group, fanouts=[5, 5], seed=0
+        )
+        single_it = single.run_iteration(seeds)
+        if single_it.n_micro_batches < 2:
+            pytest.skip("need multiple micro-batches for this check")
+
+        dual_group = MultiGPU(2, capacity_bytes=budget)
+        dual = DataParallelBuffaloTrainer(
+            dataset, spec, dual_group, fanouts=[5, 5], seed=0
+        )
+        dual_it = dual.run_iteration(seeds)
+        assert max(dual_it.per_device_peaks) <= max(
+            single_it.per_device_peaks
+        )

@@ -1,0 +1,130 @@
+"""Tests for BucketMemEstimator and the redundancy-aware group estimate."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BucketMemEstimator,
+    redundancy_group_estimate,
+)
+from repro.errors import SchedulingError
+from repro.gnn import bucketize_degrees
+from repro.gnn.footprint import ModelSpec
+
+from .conftest import CUTOFF
+
+
+@pytest.fixture()
+def estimator(blocks, spec):
+    return BucketMemEstimator(blocks, spec, clustering_coefficient=0.3)
+
+
+@pytest.fixture()
+def buckets(blocks):
+    return bucketize_degrees(blocks[-1].degrees, CUTOFF)
+
+
+class TestProfile:
+    def test_output_counts(self, estimator, buckets):
+        for b in buckets:
+            profile = estimator.profile(b)
+            assert profile.n_output == b.volume
+            assert profile.degree == b.degree
+
+    def test_input_at_least_output(self, estimator, buckets):
+        for b in buckets:
+            profile = estimator.profile(b)
+            assert profile.n_input >= profile.n_output
+
+    def test_input_bounded_by_expansion(self, estimator, buckets):
+        # I <= O * (1 + D) * (1 + D') — crude fan-out bound.
+        for b in buckets:
+            profile = estimator.profile(b)
+            bound = b.volume * (1 + CUTOFF) ** 2
+            assert profile.n_input <= bound
+
+    def test_histograms_cover_layers(self, estimator, buckets, spec):
+        profile = estimator.profile(buckets[0])
+        assert len(profile.layer_histograms) == spec.n_layers
+
+    def test_output_layer_histogram_is_single_degree(
+        self, estimator, buckets
+    ):
+        for b in buckets:
+            profile = estimator.profile(b)
+            out_hist = profile.layer_histograms[-1]
+            assert out_hist == {b.degree: b.volume}
+
+    def test_input_matches_fast_blocks(self, estimator, buckets, batch):
+        # The profile's I must equal the real micro-batch's input size.
+        from repro.core import generate_blocks_fast
+
+        for b in buckets[:3]:
+            profile = estimator.profile(b)
+            blocks = generate_blocks_fast(batch, np.sort(b.rows))
+            assert profile.n_input == blocks[0].n_src
+
+
+class TestEstimates:
+    def test_monotone_in_volume(self, estimator, buckets):
+        big = max(buckets, key=lambda b: b.volume * (b.degree + 1))
+        small = min(buckets, key=lambda b: b.volume * (b.degree + 1))
+        if big is not small:
+            assert estimator.estimate(big) > estimator.estimate(small)
+
+    def test_positive(self, estimator, buckets):
+        for b in buckets:
+            assert estimator.estimate(b) > 0
+
+    def test_lstm_estimates_exceed_mean(self, blocks, buckets):
+        lstm_spec = ModelSpec(16, 32, 5, 2, "lstm")
+        mean_spec = ModelSpec(16, 32, 5, 2, "mean")
+        lstm_est = BucketMemEstimator(blocks, lstm_spec, 0.3)
+        mean_est = BucketMemEstimator(blocks, mean_spec, 0.3)
+        nonzero = [b for b in buckets if b.degree > 0]
+        assert sum(lstm_est.estimate(b) for b in nonzero) > sum(
+            mean_est.estimate(b) for b in nonzero
+        )
+
+    def test_depth_mismatch_raises(self, blocks):
+        with pytest.raises(SchedulingError):
+            BucketMemEstimator(blocks, ModelSpec(16, 32, 5, 3), 0.3)
+
+
+class TestGroupingRatio:
+    def test_ratio_at_most_one(self, estimator, buckets):
+        for b in buckets:
+            ratio = estimator.grouping_ratio(estimator.profile(b))
+            assert 0 < ratio <= 1.0
+
+    def test_higher_clustering_lowers_ratio(self, blocks, spec, buckets):
+        low_c = BucketMemEstimator(blocks, spec, 0.05)
+        high_c = BucketMemEstimator(blocks, spec, 0.9)
+        bucket = max(buckets, key=lambda b: b.volume)
+        assert high_c.grouping_ratio(
+            high_c.profile(bucket)
+        ) <= low_c.grouping_ratio(low_c.profile(bucket))
+
+    def test_group_estimate_below_linear_sum(self, estimator, buckets):
+        multi = [b for b in buckets if b.degree > 0][:3]
+        linear = sum(estimator.estimate(b) for b in multi)
+        grouped = redundancy_group_estimate(estimator, multi)
+        assert grouped <= linear + 1e-6
+
+    def test_singleton_group_not_discounted(self, estimator, buckets):
+        b = buckets[-1]
+        assert redundancy_group_estimate(
+            estimator, [b]
+        ) == pytest.approx(estimator.estimate(b))
+
+    def test_profile_cache_reused(self, estimator, buckets):
+        cache = {}
+        redundancy_group_estimate(estimator, buckets, profiles=cache)
+        assert len(cache) == len(buckets)
+        # Second call hits the cache (same result).
+        again = redundancy_group_estimate(
+            estimator, buckets, profiles=cache
+        )
+        assert again == pytest.approx(
+            redundancy_group_estimate(estimator, buckets)
+        )

@@ -1,0 +1,62 @@
+"""Fast block generation: equivalence with the baseline and performance."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import generate_blocks_fast
+from repro.datasets import powerlaw_cluster_graph
+from repro.gnn import generate_blocks_baseline
+from repro.gnn.block import chain_is_consistent
+from repro.graph import sample_batch
+
+
+class TestEquivalence:
+    def test_identical_to_baseline(self, graph, batch):
+        fast = generate_blocks_fast(batch)
+        slow = generate_blocks_baseline(graph, batch)
+        assert len(fast) == len(slow)
+        for f, s in zip(fast, slow):
+            np.testing.assert_array_equal(f.src_nodes, s.src_nodes)
+            np.testing.assert_array_equal(f.dst_nodes, s.dst_nodes)
+            np.testing.assert_array_equal(f.indptr, s.indptr)
+            np.testing.assert_array_equal(f.indices, s.indices)
+
+    def test_identical_on_seed_subsets(self, graph, batch):
+        subset = np.array([3, 11, 42])
+        fast = generate_blocks_fast(batch, subset)
+        slow = generate_blocks_baseline(graph, batch, subset)
+        for f, s in zip(fast, slow):
+            np.testing.assert_array_equal(f.indices, s.indices)
+
+    def test_chain_and_validity(self, blocks):
+        assert chain_is_consistent(blocks)
+        for b in blocks:
+            b.validate()
+
+    def test_three_layer_equivalence(self):
+        g = powerlaw_cluster_graph(400, 3, 0.4, seed=2)
+        batch = sample_batch(g, np.arange(10), [4, 4, 4], rng=3)
+        fast = generate_blocks_fast(batch)
+        slow = generate_blocks_baseline(g, batch)
+        assert len(fast) == 3
+        for f, s in zip(fast, slow):
+            np.testing.assert_array_equal(f.indices, s.indices)
+
+
+class TestPerformance:
+    def test_fast_is_faster(self):
+        # The headline Fig. 12 effect at unit-test scale.
+        g = powerlaw_cluster_graph(3000, 6, 0.5, seed=1)
+        batch = sample_batch(g, np.arange(400), [8, 8], rng=0)
+
+        start = time.perf_counter()
+        generate_blocks_fast(batch)
+        fast_t = time.perf_counter() - start
+
+        start = time.perf_counter()
+        generate_blocks_baseline(g, batch)
+        slow_t = time.perf_counter() - start
+
+        assert fast_t < slow_t

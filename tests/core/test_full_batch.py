@@ -1,0 +1,115 @@
+"""Full-batch (unsampled) training through Buffalo.
+
+The paper (§I) states Buffalo supports full-batch training — no
+sampling, every neighbor aggregated — because the batch can still be
+partitioned into micro-batches.  Unbounded degrees require exact-degree
+bucketing (``cutoff=None``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BuffaloTrainer, generate_blocks_fast
+from repro.datasets import load
+from repro.device import SimulatedGPU
+from repro.errors import GraphError
+from repro.gnn import bucketize_degrees, detect_explosion
+from repro.gnn.footprint import ModelSpec
+from repro.graph import sample_batch
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("ogbn_arxiv", scale=0.02, seed=0)
+
+
+class TestExactBucketing:
+    def test_every_degree_own_bucket(self):
+        degrees = np.array([0, 1, 1, 7, 30, 30, 500])
+        buckets = bucketize_degrees(degrees, cutoff=None)
+        assert sorted(b.degree for b in buckets) == [0, 1, 7, 30, 500]
+
+    def test_rows_partition(self):
+        rng = np.random.default_rng(0)
+        degrees = rng.integers(0, 100, 200)
+        buckets = bucketize_degrees(degrees, cutoff=None)
+        rows = np.sort(np.concatenate([b.rows for b in buckets]))
+        np.testing.assert_array_equal(rows, np.arange(200))
+
+    def test_explosion_detection_uses_largest(self):
+        degrees = np.concatenate([np.full(90, 17), np.arange(1, 9)])
+        buckets = bucketize_degrees(degrees, cutoff=None)
+        exploded = detect_explosion(buckets, cutoff=None)
+        assert exploded is not None
+        assert exploded.degree == 17
+
+    def test_bad_cutoff_still_rejected(self):
+        with pytest.raises(GraphError):
+            bucketize_degrees(np.array([1]), cutoff=0)
+
+
+class TestFullNeighborBatch:
+    def test_sampled_batch_has_true_degrees(self, dataset):
+        seeds = dataset.train_nodes[:30]
+        batch = sample_batch(dataset.graph, seeds, [None, None], rng=0)
+        blocks = generate_blocks_fast(batch)
+        np.testing.assert_array_equal(
+            blocks[-1].degrees, dataset.graph.degrees[seeds]
+        )
+
+    def test_full_batch_trainer_runs(self, dataset):
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+        trainer = BuffaloTrainer(
+            dataset,
+            spec,
+            SimulatedGPU(capacity_bytes=10**11),
+            fanouts=[None, None],
+            seed=0,
+        )
+        losses = trainer.train_epochs(5, dataset.train_nodes[:50])
+        assert losses[-1] < losses[0]
+
+    def test_full_batch_partitions_under_pressure(self, dataset):
+        spec = ModelSpec(dataset.feat_dim, 32, dataset.n_classes, 2, "lstm")
+        probe = BuffaloTrainer(
+            dataset,
+            spec,
+            SimulatedGPU(capacity_bytes=10**12),
+            fanouts=[None, None],
+            seed=0,
+        )
+        report = probe.run_iteration(dataset.train_nodes[:50])
+        tight = BuffaloTrainer(
+            dataset,
+            spec,
+            SimulatedGPU(capacity_bytes=10**12),
+            fanouts=[None, None],
+            seed=0,
+            memory_constraint=report.result.peak_bytes / 3,
+        )
+        tight_report = tight.run_iteration(dataset.train_nodes[:50])
+        assert tight_report.n_micro_batches > 1
+        assert tight_report.result.peak_bytes < report.result.peak_bytes
+
+    def test_full_batch_equivalence_to_single_group(self, dataset):
+        """Micro-batched full-batch training keeps the exact loss."""
+        seeds = dataset.train_nodes[:40]
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+        losses = []
+        for constraint in (None, "third"):
+            kwargs = {}
+            if constraint == "third":
+                kwargs["memory_constraint"] = probe_peak / 3
+            trainer = BuffaloTrainer(
+                dataset,
+                spec,
+                SimulatedGPU(capacity_bytes=10**12),
+                fanouts=[None, None],
+                seed=0,
+                **kwargs,
+            )
+            report = trainer.run_iteration(seeds)
+            if constraint is None:
+                probe_peak = report.result.peak_bytes
+            losses.append(report.result.loss)
+        assert losses[0] == pytest.approx(losses[1], rel=1e-4)

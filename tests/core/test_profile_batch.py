@@ -1,0 +1,61 @@
+"""profile_many must be exactly equivalent to per-bucket profile()."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import BucketMemEstimator
+from repro.core.splitting import split_explosion_bucket
+from repro.gnn.bucketing import bucketize_degrees, detect_explosion
+from repro.gnn.footprint import ModelSpec
+
+from .conftest import CUTOFF
+
+
+@pytest.fixture()
+def estimator_fresh(blocks, spec):
+    return BucketMemEstimator(blocks, spec, clustering_coefficient=0.3)
+
+
+class TestProfileMany:
+    def test_matches_individual_profiles(self, blocks, spec, estimator_fresh):
+        buckets = bucketize_degrees(blocks[-1].degrees, CUTOFF)
+        explosion = detect_explosion(buckets, CUTOFF)
+        if explosion is not None:
+            buckets = [b for b in buckets if b is not explosion]
+            buckets.extend(split_explosion_bucket(explosion, 4))
+
+        batched = estimator_fresh.profile_many(buckets)
+
+        reference = BucketMemEstimator(blocks, spec, 0.3)
+        for bucket, profile in zip(buckets, batched):
+            expected = reference.profile(bucket)
+            assert profile.n_output == expected.n_output
+            assert profile.degree == expected.degree
+            assert profile.n_input == expected.n_input
+            assert profile.layer_histograms == expected.layer_histograms
+
+    def test_estimates_identical(self, blocks, spec, estimator_fresh):
+        buckets = bucketize_degrees(blocks[-1].degrees, CUTOFF)
+        estimator_fresh.profile_many(buckets)
+        reference = BucketMemEstimator(blocks, spec, 0.3)
+        for bucket in buckets:
+            assert estimator_fresh.estimate(bucket) == pytest.approx(
+                reference.estimate(bucket)
+            )
+
+    def test_cache_populated(self, blocks, spec, estimator_fresh):
+        buckets = bucketize_degrees(blocks[-1].degrees, CUTOFF)
+        estimator_fresh.profile_many(buckets)
+        assert len(estimator_fresh._profile_cache) >= len(buckets)
+
+    def test_idempotent(self, blocks, spec, estimator_fresh):
+        buckets = bucketize_degrees(blocks[-1].degrees, CUTOFF)
+        first = estimator_fresh.profile_many(buckets)
+        second = estimator_fresh.profile_many(buckets)
+        for a, b in zip(first, second):
+            assert a is b  # cache hit returns the same object
+
+    def test_single_bucket(self, blocks, spec, estimator_fresh):
+        buckets = bucketize_degrees(blocks[-1].degrees, CUTOFF)
+        [profile] = estimator_fresh.profile_many(buckets[:1])
+        assert profile.n_output == buckets[0].volume

@@ -1,0 +1,136 @@
+"""Failure-injection and robustness tests for the scheduler.
+
+The scheduler consumes offline statistics (the clustering coefficient)
+and user-provided knobs; it must degrade gracefully when they are wrong
+or extreme.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BuffaloScheduler, generate_blocks_fast
+from repro.core.microbatch import generate_micro_batches, micro_batch_coverage
+from repro.datasets import powerlaw_cluster_graph
+from repro.errors import SchedulingError
+from repro.gnn.footprint import ModelSpec
+from repro.graph import sample_batch
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = powerlaw_cluster_graph(600, 4, 0.5, seed=0)
+    batch = sample_batch(graph, np.arange(50), [6, 6], rng=1)
+    blocks = generate_blocks_fast(batch)
+    spec = ModelSpec(16, 32, 5, 2, "lstm")
+    return batch, blocks, spec
+
+
+def _total(batch, blocks, spec, clustering=0.3):
+    probe = BuffaloScheduler(
+        spec, float("inf"), cutoff=6, clustering_coefficient=clustering
+    )
+    return sum(probe.schedule(batch, blocks).estimated_bytes)
+
+
+class TestClusteringRobustness:
+    @pytest.mark.parametrize("clustering", [1e-6, 0.01, 0.5, 0.99, 1.0])
+    def test_any_clustering_value_schedules(self, setup, clustering):
+        batch, blocks, spec = setup
+        total = _total(batch, blocks, spec, clustering)
+        scheduler = BuffaloScheduler(
+            spec,
+            total / 3,
+            cutoff=6,
+            clustering_coefficient=clustering,
+        )
+        plan = scheduler.schedule(batch, blocks)
+        micro_batches = generate_micro_batches(batch, plan)
+        assert micro_batch_coverage(micro_batches, batch.n_seeds)
+
+    def test_wrong_clustering_changes_estimates_not_validity(self, setup):
+        batch, blocks, spec = setup
+        plans = []
+        for clustering in (0.05, 0.9):
+            total = _total(batch, blocks, spec, clustering)
+            scheduler = BuffaloScheduler(
+                spec, total / 3, cutoff=6, clustering_coefficient=clustering
+            )
+            plans.append(scheduler.schedule(batch, blocks))
+        for plan in plans:
+            rows = np.sort(np.concatenate([g.rows for g in plan.groups]))
+            np.testing.assert_array_equal(rows, np.arange(batch.n_seeds))
+
+
+class TestGranularityModes:
+    def test_granularity_none_is_algorithm3_split(self, setup):
+        batch, blocks, spec = setup
+        total = _total(batch, blocks, spec)
+        scheduler = BuffaloScheduler(
+            spec,
+            total / 3,
+            cutoff=6,
+            clustering_coefficient=0.3,
+            split_granularity=None,
+        )
+        plan = scheduler.schedule(batch, blocks)
+        micro_batches = generate_micro_batches(batch, plan)
+        assert micro_batch_coverage(micro_batches, batch.n_seeds)
+
+    def test_finer_granularity_not_worse_balance(self, setup):
+        batch, blocks, spec = setup
+        total = _total(batch, blocks, spec)
+        spreads = {}
+        for granularity in (1.0, 0.25):
+            scheduler = BuffaloScheduler(
+                spec,
+                total / 3,
+                cutoff=6,
+                clustering_coefficient=0.3,
+                split_granularity=granularity,
+            )
+            plan = scheduler.schedule(batch, blocks)
+            estimates = plan.estimated_bytes
+            spreads[granularity] = (max(estimates) - min(estimates)) / (
+                sum(estimates) / len(estimates)
+            )
+        assert spreads[0.25] <= spreads[1.0] + 0.10
+
+    def test_k_max_bound_respected(self, setup):
+        batch, blocks, spec = setup
+        with pytest.raises(SchedulingError):
+            BuffaloScheduler(
+                spec,
+                10.0,  # absurd budget
+                cutoff=6,
+                clustering_coefficient=0.3,
+                k_max=3,
+            ).schedule(batch, blocks)
+
+
+class TestMinimalKBehaviour:
+    def test_k_not_gratuitously_large(self, setup):
+        """K should track total/constraint, not explode."""
+        batch, blocks, spec = setup
+        total = _total(batch, blocks, spec)
+        for divisor in (2, 4, 8):
+            scheduler = BuffaloScheduler(
+                spec,
+                total / divisor,
+                cutoff=6,
+                clustering_coefficient=0.3,
+            )
+            plan = scheduler.schedule(batch, blocks)
+            # Redundancy inflates memory when splitting, so K can exceed
+            # the linear bound, but not wildly.
+            assert plan.k <= 3 * divisor + 2
+
+    def test_groups_respect_constraint(self, setup):
+        batch, blocks, spec = setup
+        total = _total(batch, blocks, spec)
+        constraint = total / 5
+        scheduler = BuffaloScheduler(
+            spec, constraint, cutoff=6, clustering_coefficient=0.3
+        )
+        plan = scheduler.schedule(batch, blocks)
+        for group in plan.groups:
+            assert group.estimated_bytes <= constraint * 1.0001

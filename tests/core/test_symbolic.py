@@ -1,0 +1,104 @@
+"""Tests for the symbolic executor, including concrete cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import MicroBatchTrainer, generate_blocks_fast
+from repro.core.api import build_model
+from repro.core.grouping import BucketGroup
+from repro.core.microbatch import MicroBatch
+from repro.core.symbolic import SymbolicTrainer
+from repro.datasets import load
+from repro.device import SimulatedGPU
+from repro.errors import DeviceError, DeviceOutOfMemoryError
+from repro.gnn.footprint import ModelSpec
+from repro.graph import sample_batch
+from repro.nn import SGD
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = load("ogbn_arxiv", scale=0.03, seed=0)
+    batch = sample_batch(ds.graph, ds.train_nodes[:60], [6, 6], rng=0)
+    blocks = generate_blocks_fast(batch)
+    return ds, batch, blocks
+
+
+class TestSymbolicTrainer:
+    def test_matches_concrete_peak(self, setup):
+        ds, batch, blocks = setup
+        spec = ModelSpec(ds.feat_dim, 32, ds.n_classes, 2, "lstm")
+
+        concrete_gpu = SimulatedGPU(capacity_bytes=10**12)
+        model = build_model(spec, rng=0)
+        trainer = MicroBatchTrainer(
+            model, spec, SGD(model.parameters(), lr=0.01), concrete_gpu
+        )
+        mb = MicroBatch(
+            blocks=blocks,
+            seed_rows=np.arange(batch.n_seeds),
+            group=BucketGroup(),
+        )
+        concrete = trainer.train_iteration(ds, batch.node_map, [mb], [6, 6])
+
+        symbolic_gpu = SimulatedGPU(capacity_bytes=10**12)
+        sym = SymbolicTrainer(spec, symbolic_gpu)
+        result = sym.iterate([blocks])
+        assert result.peak_bytes == pytest.approx(
+            concrete.peak_bytes, rel=0.25
+        )
+
+    def test_oom_when_over_budget(self, setup):
+        ds, batch, blocks = setup
+        spec = ModelSpec(ds.feat_dim, 64, ds.n_classes, 2, "lstm")
+        gpu = SimulatedGPU(capacity_bytes=10**6)
+        sym = SymbolicTrainer(spec, gpu)
+        with pytest.raises(DeviceOutOfMemoryError):
+            sym.iterate([blocks])
+
+    def test_micro_batching_lowers_peak(self, setup):
+        ds, batch, blocks = setup
+        spec = ModelSpec(ds.feat_dim, 64, ds.n_classes, 2, "lstm")
+        gpu = SimulatedGPU(capacity_bytes=10**12)
+        sym = SymbolicTrainer(spec, gpu)
+        whole = sym.iterate([blocks]).peak_bytes
+
+        pieces = np.array_split(np.arange(batch.n_seeds), 4)
+        chains = [generate_blocks_fast(batch, p) for p in pieces]
+        gpu2 = SimulatedGPU(capacity_bytes=10**12)
+        sym2 = SymbolicTrainer(spec, gpu2)
+        split = sym2.iterate(chains).peak_bytes
+        assert split < whole
+
+    def test_padded_exceeds_bucketed(self, setup):
+        ds, batch, blocks = setup
+        spec = ModelSpec(ds.feat_dim, 32, ds.n_classes, 2, "mean")
+        bucketed = SymbolicTrainer(
+            spec, SimulatedGPU(capacity_bytes=10**12)
+        ).iterate([blocks])
+        padded = SymbolicTrainer(
+            spec, SimulatedGPU(capacity_bytes=10**12), padded=True
+        ).iterate([blocks])
+        assert padded.peak_bytes > bucketed.peak_bytes
+
+    def test_sim_time_positive(self, setup):
+        _, _, blocks = setup
+        spec = ModelSpec(64, 32, 5, 2, "mean")
+        sym = SymbolicTrainer(spec, SimulatedGPU(capacity_bytes=10**12))
+        result = sym.iterate([blocks])
+        assert result.sim_time_s > 0
+        assert "gpu_compute" in result.profiler.phases
+
+    def test_empty_iteration_raises(self):
+        sym = SymbolicTrainer(
+            ModelSpec(8, 8, 3, 2), SimulatedGPU(capacity_bytes=10**9)
+        )
+        with pytest.raises(DeviceError):
+            sym.iterate([])
+
+    def test_close_releases_params(self):
+        gpu = SimulatedGPU(capacity_bytes=10**9)
+        sym = SymbolicTrainer(ModelSpec(8, 8, 3, 2), gpu)
+        assert gpu.live_bytes > 0
+        sym.close()
+        assert gpu.live_bytes == 0

@@ -1,0 +1,156 @@
+"""Gradient-accumulation equivalence: Buffalo == full-batch training.
+
+The paper's central correctness claim (§IV-B, Fig. 17, Table IV): because
+micro-batch outputs are disjoint and gradients accumulate before a single
+optimizer step, micro-batch training is mathematically identical to
+full-batch training.  Here we verify it numerically: identical losses and
+near-identical gradients/weights between a 1-group run and a K-group run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BuffaloScheduler,
+    MicroBatchTrainer,
+    generate_blocks_fast,
+    generate_micro_batches,
+)
+from repro.core.api import build_model
+from repro.core.microbatch import MicroBatch
+from repro.core.grouping import BucketGroup
+from repro.datasets import load
+from repro.errors import ConvergenceError
+from repro.gnn.footprint import ModelSpec
+from repro.graph import sample_batch
+from repro.nn import SGD
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("ogbn_arxiv", scale=0.02, seed=0)
+
+
+@pytest.fixture(scope="module")
+def batch(dataset):
+    seeds = dataset.train_nodes[:50]
+    return sample_batch(dataset.graph, seeds, [5, 5], rng=0)
+
+
+def _manual_micro_batches(batch, n_groups):
+    """Evenly split the seeds into n_groups micro-batches."""
+    pieces = np.array_split(np.arange(batch.n_seeds), n_groups)
+    out = []
+    for piece in pieces:
+        blocks = generate_blocks_fast(batch, piece)
+        out.append(
+            MicroBatch(blocks=blocks, seed_rows=piece, group=BucketGroup())
+        )
+    return out
+
+
+def _run(dataset, batch, spec, n_groups, *, steps=3, lr=0.05, seed=7):
+    model = build_model(spec, rng=seed)
+    optimizer = SGD(model.parameters(), lr=lr)
+    trainer = MicroBatchTrainer(model, spec, optimizer, device=None)
+    micro_batches = _manual_micro_batches(batch, n_groups)
+    cutoffs = list(reversed(batch.fanouts))
+    losses = [
+        trainer.train_iteration(
+            dataset, batch.node_map, micro_batches, cutoffs
+        ).loss
+        for _ in range(steps)
+    ]
+    return losses, model
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("k", [2, 4, 7])
+    def test_losses_match_full_batch(self, dataset, batch, k):
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+        full_losses, full_model = _run(dataset, batch, spec, 1)
+        micro_losses, micro_model = _run(dataset, batch, spec, k)
+        np.testing.assert_allclose(
+            full_losses, micro_losses, rtol=1e-4, atol=1e-5
+        )
+
+    def test_weights_match_after_training(self, dataset, batch):
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+        _, full_model = _run(dataset, batch, spec, 1, steps=4)
+        _, micro_model = _run(dataset, batch, spec, 4, steps=4)
+        full_state = full_model.state_dict()
+        micro_state = micro_model.state_dict()
+        for key in full_state:
+            np.testing.assert_allclose(
+                full_state[key], micro_state[key], rtol=1e-3, atol=1e-5
+            )
+
+    def test_lstm_aggregator_equivalence(self, dataset, batch):
+        spec = ModelSpec(dataset.feat_dim, 12, dataset.n_classes, 2, "lstm")
+        full_losses, _ = _run(dataset, batch, spec, 1, steps=2)
+        micro_losses, _ = _run(dataset, batch, spec, 3, steps=2)
+        np.testing.assert_allclose(
+            full_losses, micro_losses, rtol=1e-4, atol=1e-5
+        )
+
+    def test_gat_equivalence(self, dataset, batch):
+        spec = ModelSpec(
+            dataset.feat_dim, 12, dataset.n_classes, 2, "attention"
+        )
+        full_losses, _ = _run(dataset, batch, spec, 1, steps=2)
+        micro_losses, _ = _run(dataset, batch, spec, 3, steps=2)
+        np.testing.assert_allclose(
+            full_losses, micro_losses, rtol=1e-4, atol=1e-5
+        )
+
+    def test_scheduled_micro_batches_equivalent(self, dataset, batch):
+        # End-to-end: the scheduler's own grouping (split + grouped
+        # buckets) must preserve training math too.
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+        blocks = generate_blocks_fast(batch)
+        scheduler = BuffaloScheduler(
+            spec, 1e15, cutoff=5, clustering_coefficient=0.2
+        )
+        plan_total = sum(
+            scheduler.schedule(batch, blocks).estimated_bytes
+        )
+        tight = BuffaloScheduler(
+            spec, plan_total / 3, cutoff=5, clustering_coefficient=0.2
+        )
+        plan = tight.schedule(batch, blocks)
+        assert plan.k >= 2
+        scheduled = generate_micro_batches(batch, plan)
+
+        model_a = build_model(spec, rng=3)
+        opt_a = SGD(model_a.parameters(), lr=0.05)
+        trainer_a = MicroBatchTrainer(model_a, spec, opt_a)
+        cutoffs = list(reversed(batch.fanouts))
+        loss_a = trainer_a.train_iteration(
+            dataset, batch.node_map, scheduled, cutoffs
+        ).loss
+
+        model_b = build_model(spec, rng=3)
+        opt_b = SGD(model_b.parameters(), lr=0.05)
+        trainer_b = MicroBatchTrainer(model_b, spec, opt_b)
+        loss_b = trainer_b.train_iteration(
+            dataset,
+            batch.node_map,
+            _manual_micro_batches(batch, 1),
+            cutoffs,
+        ).loss
+
+        assert loss_a == pytest.approx(loss_b, rel=1e-4)
+
+    def test_loss_decreases(self, dataset, batch):
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+        losses, _ = _run(dataset, batch, spec, 3, steps=12, lr=0.1)
+        assert losses[-1] < losses[0]
+
+    def test_empty_micro_batches_raise(self, dataset, batch):
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+        model = build_model(spec, rng=0)
+        trainer = MicroBatchTrainer(
+            model, spec, SGD(model.parameters(), lr=0.1)
+        )
+        with pytest.raises(ConvergenceError):
+            trainer.train_iteration(dataset, batch.node_map, [], [5, 5])

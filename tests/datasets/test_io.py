@@ -1,0 +1,65 @@
+"""Tests for dataset save/load."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.datasets.io import load_dataset, save_dataset
+from repro.errors import DatasetError
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        original = load("cora", scale=0.2, seed=0)
+        path = tmp_path / "cora.npz"
+        save_dataset(path, original)
+        restored = load_dataset(path)
+
+        assert restored.name == original.name
+        assert restored.graph == original.graph
+        np.testing.assert_array_equal(
+            restored.features, original.features
+        )
+        np.testing.assert_array_equal(restored.labels, original.labels)
+        np.testing.assert_array_equal(
+            restored.train_nodes, original.train_nodes
+        )
+        assert restored.n_classes == original.n_classes
+        assert restored.scale == original.scale
+        assert restored.spec.paper == original.spec.paper
+        assert restored.spec.gen_params == original.spec.gen_params
+
+    def test_restored_dataset_trains(self, tmp_path):
+        from repro.core import BuffaloTrainer
+        from repro.device import SimulatedGPU
+        from repro.gnn.footprint import ModelSpec
+
+        original = load("cora", scale=0.2, seed=0)
+        save_dataset(tmp_path / "d.npz", original)
+        dataset = load_dataset(tmp_path / "d.npz")
+        spec = ModelSpec(dataset.feat_dim, 8, dataset.n_classes, 2, "mean")
+        trainer = BuffaloTrainer(
+            dataset,
+            spec,
+            SimulatedGPU(capacity_bytes=10**9),
+            fanouts=[4, 4],
+            seed=0,
+        )
+        report = trainer.run_iteration(dataset.train_nodes[:30])
+        assert np.isfinite(report.result.loss)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "nope.npz")
+
+    def test_wrong_file_raises(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, some_array=np.zeros(3))
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        original = load("cora", scale=0.1, seed=0)
+        path = tmp_path / "deep" / "dir" / "d.npz"
+        save_dataset(path, original)
+        assert path.exists()

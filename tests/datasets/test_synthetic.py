@@ -1,0 +1,153 @@
+"""Unit and property tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    boost_clustering,
+    community_powerlaw_graph,
+    directed_citation_graph,
+    powerlaw_cluster_graph,
+    small_world_graph,
+)
+from repro.errors import DatasetError
+from repro.graph import metrics
+
+
+class TestPowerlawCluster:
+    def test_node_and_edge_counts(self):
+        g = powerlaw_cluster_graph(500, 3, 0.5, seed=0)
+        assert g.n_nodes == 500
+        # (n - m) * m undirected edges, stored twice.
+        assert g.n_edges == pytest.approx(2 * (500 - 3) * 3, rel=0.01)
+
+    def test_is_symmetric(self):
+        g = powerlaw_cluster_graph(200, 2, 0.3, seed=1)
+        assert g == g.reverse()
+
+    def test_power_law_tail(self):
+        g = powerlaw_cluster_graph(4000, 3, 0.2, seed=2)
+        assert metrics.is_power_law(g)
+
+    def test_triads_raise_clustering(self):
+        lo = powerlaw_cluster_graph(2000, 4, 0.0, seed=3)
+        hi = powerlaw_cluster_graph(2000, 4, 0.95, seed=3)
+        assert metrics.average_clustering(
+            hi, sample=500, seed=0
+        ) > 2 * metrics.average_clustering(lo, sample=500, seed=0)
+
+    def test_deterministic(self):
+        a = powerlaw_cluster_graph(300, 3, 0.5, seed=7)
+        b = powerlaw_cluster_graph(300, 3, 0.5, seed=7)
+        assert a == b
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            powerlaw_cluster_graph(10, 10, 0.5)
+        with pytest.raises(DatasetError):
+            powerlaw_cluster_graph(10, 0, 0.5)
+        with pytest.raises(DatasetError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+
+class TestSmallWorld:
+    def test_flat_degrees(self):
+        g = small_world_graph(500, 6, 0.0, seed=0)
+        assert g.degrees.min() == 6
+        assert g.degrees.max() == 6
+
+    def test_rewiring_reduces_clustering(self):
+        lattice = small_world_graph(1000, 6, 0.0, seed=0)
+        rewired = small_world_graph(1000, 6, 0.6, seed=0)
+        assert metrics.average_clustering(
+            rewired, sample=300, seed=0
+        ) < metrics.average_clustering(lattice, sample=300, seed=0)
+
+    def test_not_power_law(self):
+        g = small_world_graph(2000, 4, 0.25, seed=1)
+        assert not metrics.is_power_law(g)
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            small_world_graph(10, 3, 0.1)  # odd k
+        with pytest.raises(DatasetError):
+            small_world_graph(4, 6, 0.1)  # n <= k
+        with pytest.raises(DatasetError):
+            small_world_graph(10, 4, 2.0)
+
+
+class TestCommunityPowerlaw:
+    def test_high_clustering(self):
+        g = community_powerlaw_graph(2000, 20, 0.85, 2, seed=0)
+        assert metrics.average_clustering(g, sample=400, seed=0) > 0.4
+
+    def test_power_law_tail(self):
+        g = community_powerlaw_graph(8000, 20, 0.85, 2, seed=0)
+        assert metrics.is_power_law(g)
+
+    def test_symmetric(self):
+        g = community_powerlaw_graph(400, 10, 0.5, 2, seed=1)
+        assert g == g.reverse()
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            community_powerlaw_graph(100, 1, 0.5, 2)
+        with pytest.raises(DatasetError):
+            community_powerlaw_graph(100, 10, 1.5, 2)
+
+
+class TestCitation:
+    def test_has_zero_in_degree_nodes(self):
+        # The structural property that breaks Betty on OGBN-papers.
+        g = directed_citation_graph(1000, 5, seed=0)
+        assert np.sum(g.degrees == 0) > 10
+
+    def test_not_symmetric(self):
+        g = directed_citation_graph(300, 4, seed=0)
+        assert g != g.reverse()
+
+    def test_power_law_in_degree(self):
+        g = directed_citation_graph(8000, 6, seed=1)
+        assert metrics.is_power_law(g)
+
+    def test_cocite_raises_clustering(self):
+        lo = directed_citation_graph(3000, 6, seed=2, p_cocite=0.0)
+        hi = directed_citation_graph(3000, 6, seed=2, p_cocite=0.9)
+        assert metrics.average_clustering(
+            hi, sample=500, seed=0
+        ) > metrics.average_clustering(lo, sample=500, seed=0)
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            directed_citation_graph(5, 10)
+
+
+class TestBoostClustering:
+    def test_zero_closures_is_identity(self):
+        g = powerlaw_cluster_graph(200, 3, 0.2, seed=0)
+        assert boost_clustering(g, 0, seed=1) is g
+
+    def test_adds_edges(self):
+        g = powerlaw_cluster_graph(200, 3, 0.2, seed=0)
+        b = boost_clustering(g, 100, seed=1)
+        assert b.n_edges >= g.n_edges
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(20, 200),
+    m=st.integers(1, 4),
+    p=st.floats(0, 1),
+    seed=st.integers(0, 100),
+)
+def test_powerlaw_generator_invariants(n, m, p, seed):
+    if n <= m:
+        n = m + 10
+    g = powerlaw_cluster_graph(n, m, p, seed=seed)
+    # Symmetric, no self loops, every late node has degree >= m.
+    assert g == g.reverse()
+    for v in range(g.n_nodes):
+        assert v not in set(int(x) for x in g.neighbors(v))
+    assert np.all(g.degrees[m:] >= m)

@@ -1,0 +1,100 @@
+"""Tests for the cross-micro-batch feature cache."""
+
+import numpy as np
+import pytest
+
+from repro.device import SimulatedGPU
+from repro.device.feature_cache import FeatureCache
+from repro.errors import DeviceError, DeviceOutOfMemoryError
+
+
+def make_cache(capacity_rows=10, feat_bytes=256, device_capacity=10**9):
+    device = SimulatedGPU(capacity_bytes=device_capacity)
+    cache = FeatureCache(
+        device, feat_bytes, capacity_bytes=capacity_rows * feat_bytes
+    )
+    return device, cache
+
+
+class TestFeatureCache:
+    def test_first_load_all_misses(self):
+        device, cache = make_cache()
+        seconds = cache.load(np.arange(5))
+        assert seconds > 0
+        assert cache.misses == 5
+        assert cache.hits == 0
+        assert cache.resident_rows == 5
+
+    def test_repeat_load_all_hits(self):
+        _, cache = make_cache()
+        cache.load(np.arange(5))
+        seconds = cache.load(np.arange(5))
+        assert seconds == 0.0
+        assert cache.hits == 5
+        assert cache.hit_rate == 0.5
+
+    def test_partial_overlap(self):
+        device, cache = make_cache()
+        cache.load(np.arange(5))
+        before = device.bytes_loaded
+        cache.load(np.arange(3, 8))
+        transferred = device.bytes_loaded - before
+        assert transferred == 3 * 256  # only nodes 5, 6, 7
+
+    def test_lru_eviction(self):
+        _, cache = make_cache(capacity_rows=3)
+        cache.load(np.array([1, 2, 3]))
+        cache.load(np.array([4]))  # evicts node 1
+        assert cache.resident_rows == 3
+        seconds = cache.load(np.array([1]))
+        assert seconds > 0  # node 1 was evicted -> miss
+
+    def test_lru_recency_update(self):
+        _, cache = make_cache(capacity_rows=3)
+        cache.load(np.array([1, 2, 3]))
+        cache.load(np.array([1]))  # refresh node 1
+        cache.load(np.array([4]))  # evicts node 2, not node 1
+        assert cache.load(np.array([1])) == 0.0
+
+    def test_device_ledger_charged(self):
+        device, cache = make_cache(capacity_rows=10)
+        cache.load(np.arange(4))
+        assert device.live_bytes == 4 * 256
+        cache.clear()
+        assert device.live_bytes == 0
+
+    def test_cache_can_cause_oom(self):
+        device = SimulatedGPU(capacity_bytes=1000)
+        cache = FeatureCache(device, 256, capacity_bytes=10 * 256)
+        with pytest.raises(DeviceOutOfMemoryError):
+            cache.load(np.arange(10))  # 2560 B > 1000 B device
+
+    def test_close_releases(self):
+        device, cache = make_cache()
+        cache.load(np.arange(3))
+        cache.close()
+        assert device.live_bytes == 0
+
+    def test_invalid_args_raise(self):
+        device = SimulatedGPU(capacity_bytes=10**6)
+        with pytest.raises(DeviceError):
+            FeatureCache(device, 0, 100)
+        with pytest.raises(DeviceError):
+            FeatureCache(device, 256, 100)
+
+    def test_transfer_savings_on_redundant_micro_batches(self):
+        # The motivating scenario: consecutive micro-batches sharing
+        # half their inputs halve the transferred bytes.
+        device_nocache = SimulatedGPU(capacity_bytes=10**9)
+        feat = 512
+        batches = [np.arange(0, 100), np.arange(50, 150), np.arange(100, 200)]
+        for b in batches:
+            device_nocache.load(b.size * feat)
+
+        device_cache, cache = make_cache(
+            capacity_rows=500, feat_bytes=feat
+        )
+        for b in batches:
+            cache.load(b)
+        assert device_cache.bytes_loaded < device_nocache.bytes_loaded
+        assert cache.hit_rate > 0.2

@@ -1,0 +1,157 @@
+"""Tests for the memory ledger (weakref + handle paths, OOM semantics)."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.device import MemoryTracker, SimulatedGPU
+from repro.errors import DeviceError, DeviceOutOfMemoryError
+from repro.tensor import Tensor
+
+
+class TestTrackedArrays:
+    def test_tracks_bytes(self):
+        t = MemoryTracker()
+        a = np.zeros(1000, dtype=np.float32)
+        t.track(a)
+        assert t.live_bytes == 4000
+        assert t.peak_bytes == 4000
+
+    def test_double_track_is_noop(self):
+        t = MemoryTracker()
+        a = np.zeros(10, dtype=np.float32)
+        t.track(a)
+        t.track(a)
+        assert t.live_bytes == 40
+
+    def test_views_not_double_counted(self):
+        t = MemoryTracker()
+        a = np.zeros(100, dtype=np.float32)
+        t.track(a)
+        t.track(a.reshape(10, 10))
+        t.track(a[5:])
+        assert t.live_bytes == 400
+
+    def test_view_tracks_owner_size(self):
+        t = MemoryTracker()
+        a = np.zeros(100, dtype=np.float32)
+        t.track(a[:1])  # view charges the whole owning buffer
+        assert t.live_bytes == 400
+
+    def test_release_on_gc(self):
+        t = MemoryTracker()
+        a = np.zeros(1000, dtype=np.float32)
+        t.track(a)
+        del a
+        gc.collect()
+        assert t.live_bytes == 0
+        assert t.peak_bytes == 4000  # peak persists
+
+    def test_oom_raises_and_keeps_state(self):
+        t = MemoryTracker(capacity=100)
+        a = np.zeros(20, dtype=np.float32)  # 80 bytes
+        t.track(a)
+        b = np.zeros(20, dtype=np.float32)
+        with pytest.raises(DeviceOutOfMemoryError) as excinfo:
+            t.track(b)
+        assert excinfo.value.requested == 80
+        assert excinfo.value.live == 80
+        assert excinfo.value.capacity == 100
+        assert t.live_bytes == 80  # failed alloc not charged
+        assert t.oom_count == 1
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(DeviceError):
+            MemoryTracker(capacity=0)
+
+
+class TestHandles:
+    def test_alloc_free_cycle(self):
+        t = MemoryTracker()
+        h = t.alloc(500)
+        assert t.live_bytes == 500
+        t.free(h)
+        assert t.live_bytes == 0
+
+    def test_double_free_raises(self):
+        t = MemoryTracker()
+        h = t.alloc(10)
+        t.free(h)
+        with pytest.raises(DeviceError):
+            t.free(h)
+
+    def test_negative_alloc_raises(self):
+        with pytest.raises(DeviceError):
+            MemoryTracker().alloc(-1)
+
+    def test_oom_on_alloc(self):
+        t = MemoryTracker(capacity=100)
+        t.alloc(60)
+        with pytest.raises(DeviceOutOfMemoryError):
+            t.alloc(60)
+
+    def test_peak_tracks_high_water(self):
+        t = MemoryTracker()
+        h1 = t.alloc(100)
+        h2 = t.alloc(200)
+        t.free(h2)
+        t.alloc(50)
+        assert t.peak_bytes == 300
+        assert t.live_bytes == 150
+        t.free(h1)
+
+    def test_reset_peak(self):
+        t = MemoryTracker()
+        h = t.alloc(100)
+        t.free(h)
+        t.reset_peak()
+        assert t.peak_bytes == 0
+
+    def test_would_fit(self):
+        t = MemoryTracker(capacity=100)
+        assert t.would_fit(100)
+        t.alloc(40)
+        assert t.would_fit(60)
+        assert not t.would_fit(61)
+        assert MemoryTracker().would_fit(10**18)
+
+
+class TestTensorIntegration:
+    def test_tensor_registers_with_device(self):
+        gpu = SimulatedGPU(capacity_bytes=10**6)
+        t = Tensor(np.zeros((10, 10), dtype=np.float32), device=gpu)
+        assert gpu.live_bytes == 400
+        del t
+        gc.collect()
+        assert gpu.live_bytes == 0
+
+    def test_ops_inherit_device(self):
+        gpu = SimulatedGPU(capacity_bytes=10**6)
+        a = Tensor(np.zeros(100, dtype=np.float32), device=gpu)
+        b = a * 2.0
+        assert b.device is gpu
+        assert gpu.live_bytes >= 800
+
+    def test_activation_lifetime_models_training(self):
+        # Forward keeps activations alive; releasing the graph frees them.
+        gpu = SimulatedGPU(capacity_bytes=10**8)
+        x = Tensor(
+            np.ones((100, 100), dtype=np.float32),
+            requires_grad=True,
+            device=gpu,
+        )
+        y = ((x * 2.0).tanh() * 3.0).sum()
+        peak_during = gpu.live_bytes
+        y.backward()
+        del y
+        gc.collect()
+        after = gpu.live_bytes
+        assert peak_during > after
+
+    def test_oom_during_forward(self):
+        gpu = SimulatedGPU(capacity_bytes=50_000)
+        x = Tensor(np.ones((100, 100), dtype=np.float32), device=gpu)
+        with pytest.raises(DeviceOutOfMemoryError):
+            for _ in range(10):
+                x = x * 1.5  # each op allocates 40 KB

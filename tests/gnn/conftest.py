@@ -1,0 +1,23 @@
+"""Shared fixtures: a small sampled batch with its blocks."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import powerlaw_cluster_graph
+from repro.graph import sample_batch
+from repro.gnn import generate_blocks_baseline
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return powerlaw_cluster_graph(300, 4, 0.4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def batch(small_graph):
+    return sample_batch(small_graph, np.arange(20), [5, 5], rng=1)
+
+
+@pytest.fixture(scope="module")
+def blocks(small_graph, batch):
+    return generate_blocks_baseline(small_graph, batch)

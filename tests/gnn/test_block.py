@@ -1,0 +1,132 @@
+"""Tests for Block structure and baseline block generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.gnn import Block, generate_blocks_baseline
+from repro.gnn.block import chain_is_consistent
+from repro.graph import sample_batch
+
+
+class TestBlockStructure:
+    def test_counts(self):
+        b = Block(
+            src_nodes=np.array([0, 1, 2, 3]),
+            dst_nodes=np.array([0, 1]),
+            indptr=np.array([0, 2, 3]),
+            indices=np.array([2, 3, 2]),
+        )
+        assert b.n_src == 4
+        assert b.n_dst == 2
+        assert b.n_edges == 3
+        assert list(b.degrees) == [2, 1]
+        b.validate()
+
+    def test_neighbor_positions(self):
+        b = Block(
+            src_nodes=np.array([5, 7, 9]),
+            dst_nodes=np.array([5]),
+            indptr=np.array([0, 2]),
+            indices=np.array([1, 2]),
+        )
+        assert list(b.neighbor_positions(0)) == [1, 2]
+
+    def test_validate_rejects_bad_prefix(self):
+        b = Block(
+            src_nodes=np.array([1, 0]),
+            dst_nodes=np.array([0]),
+            indptr=np.array([0, 1]),
+            indices=np.array([1]),
+        )
+        with pytest.raises(GraphError):
+            b.validate()
+
+    def test_validate_rejects_bad_indices(self):
+        b = Block(
+            src_nodes=np.array([0]),
+            dst_nodes=np.array([0]),
+            indptr=np.array([0, 1]),
+            indices=np.array([5]),
+        )
+        with pytest.raises(GraphError):
+            b.validate()
+
+    def test_validate_rejects_bad_indptr(self):
+        b = Block(
+            src_nodes=np.array([0]),
+            dst_nodes=np.array([0]),
+            indptr=np.array([0, 2]),
+            indices=np.array([0]),
+        )
+        with pytest.raises(GraphError):
+            b.validate()
+
+
+class TestBaselineGeneration:
+    def test_returns_one_block_per_layer(self, blocks, batch):
+        assert len(blocks) == batch.n_layers
+
+    def test_output_block_dst_is_seeds(self, blocks, batch):
+        np.testing.assert_array_equal(
+            blocks[-1].dst_nodes, batch.seeds_local
+        )
+
+    def test_chain_consistency(self, blocks):
+        assert chain_is_consistent(blocks)
+
+    def test_all_blocks_valid(self, blocks):
+        for b in blocks:
+            b.validate()
+
+    def test_dst_prefix_everywhere(self, blocks):
+        for b in blocks:
+            np.testing.assert_array_equal(
+                b.src_nodes[: b.n_dst], b.dst_nodes
+            )
+
+    def test_edges_match_batch_subgraph(self, small_graph, batch, blocks):
+        # Every (dst, neighbor) pair in the output block must be a
+        # sampled edge of the batch subgraph.
+        out = blocks[-1]
+        for row in range(out.n_dst):
+            dst_local = int(out.dst_nodes[row])
+            batch_row = set(
+                int(x) for x in batch.graph.neighbors(dst_local)
+            )
+            got = {
+                int(out.src_nodes[p]) for p in out.neighbor_positions(row)
+            }
+            assert got == batch_row
+
+    def test_degrees_bounded_by_fanout(self, blocks, batch):
+        for block, fanout in zip(blocks, reversed(batch.fanouts)):
+            assert block.degrees.max(initial=0) <= fanout
+
+    def test_empty_seeds_raise(self, small_graph, batch):
+        with pytest.raises(GraphError):
+            generate_blocks_baseline(
+                small_graph, batch, np.array([], dtype=np.int64)
+            )
+
+    def test_seed_subset(self, small_graph, batch):
+        subset = np.array([0, 3, 7])
+        blocks = generate_blocks_baseline(small_graph, batch, subset)
+        np.testing.assert_array_equal(blocks[-1].dst_nodes, subset)
+        assert chain_is_consistent(blocks)
+
+    def test_deterministic(self, small_graph, batch):
+        a = generate_blocks_baseline(small_graph, batch)
+        b = generate_blocks_baseline(small_graph, batch)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.src_nodes, y.src_nodes)
+            np.testing.assert_array_equal(x.indices, y.indices)
+
+    def test_zero_in_degree_seed(self):
+        # A seed with no in-edges still yields a valid (empty-row) block.
+        from repro.graph import from_edge_list
+
+        g = from_edge_list([0], [1], n_nodes=3)
+        batch = sample_batch(g, np.array([2]), [3], rng=0)
+        blocks = generate_blocks_baseline(g, batch)
+        assert blocks[-1].degrees[0] == 0

@@ -1,0 +1,102 @@
+"""Tests for degree bucketing and explosion detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.gnn import Bucket, bucketize_degrees, detect_explosion
+from repro.gnn.bucketing import BucketStats
+
+
+class TestBucketize:
+    def test_exact_degree_grouping(self):
+        degrees = np.array([1, 2, 2, 3, 1])
+        buckets = bucketize_degrees(degrees, cutoff=10)
+        by_degree = {b.degree: sorted(b.rows.tolist()) for b in buckets}
+        assert by_degree == {1: [0, 4], 2: [1, 2], 3: [3]}
+
+    def test_cutoff_groups_tail(self):
+        degrees = np.array([1, 5, 9, 10, 50, 12])
+        buckets = bucketize_degrees(degrees, cutoff=10)
+        cut = next(b for b in buckets if b.degree == 10)
+        assert sorted(cut.rows.tolist()) == [3, 4, 5]
+
+    def test_zero_degree_bucket(self):
+        buckets = bucketize_degrees(np.array([0, 0, 3]), cutoff=5)
+        zero = next(b for b in buckets if b.degree == 0)
+        assert zero.volume == 2
+
+    def test_rows_partition_everything(self):
+        rng = np.random.default_rng(0)
+        degrees = rng.integers(0, 30, size=200)
+        buckets = bucketize_degrees(degrees, cutoff=10)
+        all_rows = np.concatenate([b.rows for b in buckets])
+        assert sorted(all_rows.tolist()) == list(range(200))
+
+    def test_sorted_by_degree(self):
+        buckets = bucketize_degrees(np.array([5, 1, 3]), cutoff=10)
+        assert [b.degree for b in buckets] == [1, 3, 5]
+
+    def test_invalid_cutoff_raises(self):
+        with pytest.raises(GraphError):
+            bucketize_degrees(np.array([1]), cutoff=0)
+
+    def test_bucket_repr_and_edges(self):
+        b = Bucket(degree=3, rows=np.array([0, 1]))
+        assert b.n_edges == 6
+        assert "degree=3" in repr(b)
+        assert not b.is_micro
+        m = Bucket(degree=3, rows=np.array([0]), micro_index=1)
+        assert m.is_micro
+
+
+class TestExplosionDetection:
+    def test_flat_distribution_no_explosion(self):
+        degrees = np.array([1, 2, 3, 4, 5, 6])
+        buckets = bucketize_degrees(degrees, cutoff=7)
+        assert detect_explosion(buckets, cutoff=7) is None
+
+    def test_power_law_explodes(self):
+        # 80% of nodes at or above the cut-off.
+        degrees = np.concatenate([np.full(80, 25), np.arange(1, 10)])
+        buckets = bucketize_degrees(degrees, cutoff=10)
+        exploded = detect_explosion(buckets, cutoff=10)
+        assert exploded is not None
+        assert exploded.degree == 10
+        assert exploded.volume == 80
+
+    def test_no_cutoff_bucket(self):
+        buckets = bucketize_degrees(np.array([1, 2]), cutoff=10)
+        assert detect_explosion(buckets, cutoff=10) is None
+
+    def test_only_cutoff_bucket_counts_as_explosion(self):
+        buckets = bucketize_degrees(np.array([10, 12, 30]), cutoff=10)
+        assert detect_explosion(buckets, cutoff=10) is not None
+
+    def test_stats_imbalance(self):
+        degrees = np.concatenate([np.full(90, 10), np.arange(1, 10)])
+        buckets = bucketize_degrees(degrees, cutoff=10)
+        stats = BucketStats.from_buckets(buckets)
+        assert stats.imbalance > 5
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    degrees=st.lists(st.integers(0, 100), min_size=1, max_size=200),
+    cutoff=st.integers(1, 30),
+)
+def test_bucketize_invariants(degrees, cutoff):
+    degrees = np.asarray(degrees)
+    buckets = bucketize_degrees(degrees, cutoff)
+    # Partition: every row appears exactly once.
+    all_rows = np.concatenate([b.rows for b in buckets])
+    assert sorted(all_rows.tolist()) == list(range(len(degrees)))
+    # Labels: min(degree, cutoff) for every member.
+    for b in buckets:
+        assert b.degree <= cutoff
+        for row in b.rows:
+            assert min(int(degrees[row]), cutoff) == b.degree
+    # Volumes sum to the row count.
+    assert sum(b.volume for b in buckets) == len(degrees)

@@ -1,0 +1,139 @@
+"""Tests for Dropout, train/eval modes, and multi-head GAT."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ReproError
+from repro.gnn import GraphSAGE
+from repro.gnn.gat import GAT, MultiHeadGATLayer
+from repro.nn import Dropout, Linear, Module, ReLU
+from repro.tensor import Tensor
+
+
+class TestModes:
+    def test_default_training(self):
+        assert Linear(2, 2, rng=0).training
+
+    def test_eval_recursive(self):
+        class Net(Module):
+            def __init__(self):
+                self.a = Linear(2, 2, rng=0)
+                self.list = [ReLU(), Dropout(0.5)]
+
+        net = Net()
+        net.eval()
+        assert not net.training
+        assert not net.a.training
+        assert not net.list[1].training
+        net.train()
+        assert net.list[1].training
+
+    def test_modules_iteration(self):
+        class Net(Module):
+            def __init__(self):
+                self.a = Linear(2, 2, rng=0)
+                self.b = [Linear(2, 2, rng=1)]
+
+        assert len(list(Net().modules())) == 3
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        layer = Dropout(0.5, seed=0).eval()
+        x = Tensor(np.ones((4, 4)))
+        assert layer(x) is x
+
+    def test_p_zero_is_identity(self):
+        layer = Dropout(0.0)
+        x = Tensor(np.ones(8))
+        assert layer(x) is x
+
+    def test_zeroes_and_scales(self):
+        layer = Dropout(0.5, seed=0)
+        x = Tensor(np.ones(10_000, dtype=np.float32))
+        out = layer(x).data
+        zeros = np.sum(out == 0)
+        assert 4_000 < zeros < 6_000
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0, rtol=1e-5)
+
+    def test_expectation_preserved(self):
+        layer = Dropout(0.3, seed=1)
+        x = Tensor(np.ones(50_000, dtype=np.float32))
+        assert layer(x).data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_gradient_masked(self):
+        layer = Dropout(0.5, seed=2)
+        x = Tensor(np.ones(100, dtype=np.float32), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad == 0, out.data == 0)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ReproError):
+            Dropout(1.0)
+        with pytest.raises(ReproError):
+            Dropout(-0.1)
+
+
+class TestSAGEDropout:
+    def test_dropout_changes_training_output_only(self, batch, blocks):
+        model = GraphSAGE(
+            8, 16, 3, n_layers=2, aggregator="mean", dropout=0.5, rng=0
+        )
+        x = Tensor(np.ones((blocks[0].n_src, 8), dtype=np.float32))
+        cutoffs = list(reversed(batch.fanouts))
+        train_a = model(blocks, x, cutoffs).data.copy()
+        train_b = model(blocks, x, cutoffs).data.copy()
+        assert not np.allclose(train_a, train_b)  # stochastic masks
+        model.eval()
+        eval_a = model(blocks, x, cutoffs).data.copy()
+        eval_b = model(blocks, x, cutoffs).data.copy()
+        np.testing.assert_array_equal(eval_a, eval_b)
+
+
+class TestMultiHeadGAT:
+    def test_output_shapes(self, batch, blocks):
+        model = GAT(8, 16, 4, n_layers=2, heads=4, rng=0)
+        x = Tensor(
+            np.random.default_rng(0)
+            .normal(size=(blocks[0].n_src, 8))
+            .astype(np.float32)
+        )
+        logits = model(blocks, x, list(reversed(batch.fanouts)))
+        assert logits.shape == (batch.n_seeds, 4)
+
+    def test_heads_have_distinct_parameters(self):
+        layer = MultiHeadGATLayer(8, 16, 4, rng=0)
+        weights = [h.proj.weight.data for h in layer.head_layers]
+        assert not np.allclose(weights[0], weights[1])
+
+    def test_gradients_flow_all_heads(self, batch, blocks):
+        model = GAT(8, 16, 4, n_layers=2, heads=2, rng=0)
+        x = Tensor(np.ones((blocks[0].n_src, 8), dtype=np.float32))
+        model(blocks, x, list(reversed(batch.fanouts))).sum().backward()
+        for p in model.parameters():
+            assert p.grad is not None
+
+    def test_indivisible_width_raises(self):
+        with pytest.raises(GraphError):
+            MultiHeadGATLayer(8, 10, 4)
+
+    def test_invalid_heads_raise(self):
+        with pytest.raises(GraphError):
+            MultiHeadGATLayer(8, 8, 0)
+
+    def test_single_head_equals_plain_gat_layer(self, batch, blocks):
+        # heads=1 uses the plain GATLayer path in GAT.
+        model = GAT(8, 16, 4, n_layers=2, heads=1, rng=0)
+        from repro.gnn.gat import GATLayer
+
+        assert isinstance(model.layers[0], GATLayer)
+
+    def test_param_count_comparable(self):
+        single = GAT(8, 16, 4, n_layers=2, heads=1, rng=0)
+        multi = GAT(8, 16, 4, n_layers=2, heads=4, rng=0)
+        # Same total width => roughly the same parameter count.
+        assert multi.n_parameters() == pytest.approx(
+            single.n_parameters(), rel=0.2
+        )

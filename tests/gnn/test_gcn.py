@@ -1,0 +1,162 @@
+"""Tests for the GCN model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.gnn import GCN
+from repro.gnn.block import Block
+from repro.gnn.gcn import GCNLayer
+from repro.tensor import Tensor
+
+
+def toy_block():
+    """dst 0 aggregates srcs {2, 3}; dst 1 aggregates {3}."""
+    return Block(
+        src_nodes=np.array([0, 1, 2, 3]),
+        dst_nodes=np.array([0, 1]),
+        indptr=np.array([0, 2, 3]),
+        indices=np.array([2, 3, 3]),
+    )
+
+
+def feats(n=4, f=3, seed=0):
+    return Tensor(
+        np.random.default_rng(seed).normal(size=(n, f)).astype(np.float32)
+    )
+
+
+class TestGCNLayer:
+    def test_output_shape(self):
+        layer = GCNLayer(3, 5, rng=0)
+        out = layer(toy_block(), feats(), cutoff=5)
+        assert out.shape == (2, 5)
+
+    def test_matches_manual_normalization(self):
+        block = toy_block()
+        x = feats()
+        layer = GCNLayer(3, 3, activation=False, rng=0)
+        out = layer(block, x, cutoff=5)
+
+        # dst 0: degree 2; srcs 2 and 3 are leaves (degree 0).
+        d0 = 2.0
+        agg0 = (
+            x.data[0] / (d0 + 1)
+            + x.data[2] / np.sqrt((d0 + 1) * 1.0)
+            + x.data[3] / np.sqrt((d0 + 1) * 1.0)
+        )
+        expected0 = agg0 @ layer.linear.weight.data + layer.linear.bias.data
+        np.testing.assert_allclose(out.data[0], expected0, rtol=1e-5)
+
+        # dst 1: degree 1, single neighbor 3.
+        d1 = 1.0
+        agg1 = x.data[1] / (d1 + 1) + x.data[3] / np.sqrt((d1 + 1) * 1.0)
+        expected1 = agg1 @ layer.linear.weight.data + layer.linear.bias.data
+        np.testing.assert_allclose(out.data[1], expected1, rtol=1e-5)
+
+    def test_degree_zero_keeps_self_term(self):
+        block = Block(
+            src_nodes=np.array([0]),
+            dst_nodes=np.array([0]),
+            indptr=np.array([0, 0]),
+            indices=np.array([], dtype=np.int64),
+        )
+        layer = GCNLayer(3, 3, activation=False, rng=0)
+        x = feats(1)
+        out = layer(block, x, cutoff=5)
+        expected = (
+            x.data[0] @ layer.linear.weight.data + layer.linear.bias.data
+        )
+        np.testing.assert_allclose(out.data[0], expected, rtol=1e-5)
+
+    def test_wrong_rows_raise(self):
+        with pytest.raises(GraphError):
+            GCNLayer(3, 3, rng=0)(toy_block(), feats(9), cutoff=5)
+
+
+class TestGCNModel:
+    def test_end_to_end(self, batch, blocks):
+        model = GCN(8, 16, 4, n_layers=2, rng=0)
+        x = Tensor(
+            np.random.default_rng(1)
+            .normal(size=(blocks[0].n_src, 8))
+            .astype(np.float32)
+        )
+        logits = model(blocks, x, list(reversed(batch.fanouts)))
+        assert logits.shape == (batch.n_seeds, 4)
+        assert np.isfinite(logits.data).all()
+
+    def test_gradients_flow(self, batch, blocks):
+        model = GCN(8, 16, 4, n_layers=2, rng=0)
+        x = Tensor(np.ones((blocks[0].n_src, 8), dtype=np.float32))
+        model(blocks, x, list(reversed(batch.fanouts))).sum().backward()
+        for p in model.parameters():
+            assert p.grad is not None
+
+    def test_invalid_layers_raise(self):
+        with pytest.raises(GraphError):
+            GCN(8, 8, 2, n_layers=0)
+
+    def test_build_model_dispatch(self):
+        from repro.core.api import build_model
+        from repro.gnn.footprint import ModelSpec
+
+        model = build_model(ModelSpec(8, 16, 4, 2, "gcn"), rng=0)
+        assert isinstance(model, GCN)
+
+    def test_trains_end_to_end(self):
+        from repro.core import BuffaloTrainer
+        from repro.datasets import load
+        from repro.device import SimulatedGPU
+        from repro.gnn.footprint import ModelSpec
+
+        dataset = load("cora", scale=0.2, seed=0)
+        spec = ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "gcn")
+        trainer = BuffaloTrainer(
+            dataset,
+            spec,
+            SimulatedGPU(capacity_bytes=10**9),
+            fanouts=[5, 5],
+            seed=0,
+        )
+        losses = trainer.train_epochs(6, dataset.train_nodes[:40])
+        assert losses[-1] < losses[0]
+
+    def test_micro_batch_equivalence(self):
+        # GCN under Buffalo must also match full-batch math.
+        from repro.core import MicroBatchTrainer, generate_blocks_fast
+        from repro.core.api import build_model
+        from repro.core.grouping import BucketGroup
+        from repro.core.microbatch import MicroBatch
+        from repro.datasets import load
+        from repro.gnn.footprint import ModelSpec
+        from repro.graph import sample_batch
+        from repro.nn import SGD
+
+        dataset = load("cora", scale=0.2, seed=0)
+        batch = sample_batch(
+            dataset.graph, dataset.train_nodes[:30], [4, 4], rng=0
+        )
+        spec = ModelSpec(dataset.feat_dim, 12, dataset.n_classes, 2, "gcn")
+
+        losses = []
+        for pieces in (1, 3):
+            model = build_model(spec, rng=2)
+            trainer = MicroBatchTrainer(
+                model, spec, SGD(model.parameters(), lr=0.05)
+            )
+            parts = np.array_split(np.arange(batch.n_seeds), pieces)
+            mbs = [
+                MicroBatch(
+                    blocks=generate_blocks_fast(batch, p),
+                    seed_rows=p,
+                    group=BucketGroup(),
+                )
+                for p in parts
+            ]
+            losses.append(
+                trainer.train_iteration(
+                    dataset, batch.node_map, mbs, [4, 4]
+                ).loss
+            )
+        assert losses[0] == pytest.approx(losses[1], rel=1e-4)

@@ -1,0 +1,289 @@
+"""Tests for aggregators, GraphSAGE, GAT, and padded aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.gnn import (
+    GAT,
+    GraphSAGE,
+    LSTMAggregator,
+    MaxAggregator,
+    MeanAggregator,
+    PoolAggregator,
+    SAGELayer,
+    SumAggregator,
+    bucketize_degrees,
+    make_aggregator,
+)
+from repro.gnn.block import Block
+from repro.gnn.padding import padded_mean
+from repro.gnn.sage import apply_bucketed
+from repro.tensor import Tensor
+
+
+def toy_block():
+    """Two dst nodes: node 0 aggregates srcs {2,3}; node 1 aggregates {3}."""
+    return Block(
+        src_nodes=np.array([0, 1, 2, 3]),
+        dst_nodes=np.array([0, 1]),
+        indptr=np.array([0, 2, 3]),
+        indices=np.array([2, 3, 3]),
+    )
+
+
+def feats(n=4, f=3, seed=0):
+    return Tensor(
+        np.random.default_rng(seed).normal(size=(n, f)).astype(np.float32)
+    )
+
+
+class TestAggregators:
+    def test_mean_matches_manual(self):
+        block = toy_block()
+        x = feats()
+        buckets = bucketize_degrees(block.degrees, cutoff=5)
+        out = apply_bucketed(MeanAggregator(), block, buckets, x)
+        expected0 = (x.data[2] + x.data[3]) / 2
+        expected1 = x.data[3]
+        np.testing.assert_allclose(out.data[0], expected0, rtol=1e-5)
+        np.testing.assert_allclose(out.data[1], expected1, rtol=1e-5)
+
+    def test_sum_matches_manual(self):
+        block = toy_block()
+        x = feats()
+        buckets = bucketize_degrees(block.degrees, cutoff=5)
+        out = apply_bucketed(SumAggregator(), block, buckets, x)
+        np.testing.assert_allclose(
+            out.data[0], x.data[2] + x.data[3], rtol=1e-5
+        )
+
+    def test_max_matches_manual(self):
+        block = toy_block()
+        x = feats()
+        buckets = bucketize_degrees(block.degrees, cutoff=5)
+        out = apply_bucketed(MaxAggregator(), block, buckets, x)
+        np.testing.assert_allclose(
+            out.data[0], np.maximum(x.data[2], x.data[3]), rtol=1e-5
+        )
+
+    def test_pool_shape(self):
+        block = toy_block()
+        agg = PoolAggregator(3, 8, rng=0)
+        buckets = bucketize_degrees(block.degrees, cutoff=5)
+        out = apply_bucketed(agg, block, buckets, feats())
+        assert out.shape == (2, 8)
+
+    def test_lstm_shape_and_grad(self):
+        block = toy_block()
+        agg = LSTMAggregator(3, 6, rng=0)
+        buckets = bucketize_degrees(block.degrees, cutoff=5)
+        x = Tensor(feats().data, requires_grad=True)
+        out = apply_bucketed(agg, block, buckets, x)
+        assert out.shape == (2, 6)
+        out.sum().backward()
+        assert x.grad is not None
+        assert agg.lstm.cell.weight.grad is not None
+
+    def test_degree_zero_rows_give_zeros(self):
+        block = Block(
+            src_nodes=np.array([0, 1]),
+            dst_nodes=np.array([0, 1]),
+            indptr=np.array([0, 0, 1]),
+            indices=np.array([0]),
+        )
+        buckets = bucketize_degrees(block.degrees, cutoff=5)
+        out = apply_bucketed(MeanAggregator(), block, buckets, feats(2))
+        np.testing.assert_array_equal(out.data[0], 0.0)
+
+    def test_make_aggregator_registry(self):
+        assert isinstance(make_aggregator("mean", 4, 8), MeanAggregator)
+        assert isinstance(make_aggregator("lstm", 4, 8), LSTMAggregator)
+        with pytest.raises(GraphError):
+            make_aggregator("nope", 4, 8)
+
+    def test_mixed_degree_bucket_rejected(self):
+        from repro.gnn.bucketing import Bucket
+
+        block = toy_block()
+        bad = Bucket(degree=2, rows=np.array([0, 1]))  # row 1 has degree 1
+        with pytest.raises(GraphError):
+            MeanAggregator()(block, bad, feats())
+
+    def test_apply_bucketed_requires_partition(self):
+        from repro.gnn.bucketing import Bucket
+
+        block = toy_block()
+        with pytest.raises(GraphError):
+            apply_bucketed(
+                MeanAggregator(),
+                block,
+                [Bucket(degree=2, rows=np.array([0]))],
+                feats(),
+            )
+
+
+class TestSAGELayer:
+    def test_output_shape(self):
+        layer = SAGELayer(3, 5, "mean", rng=0)
+        out = layer(toy_block(), feats(), cutoff=5)
+        assert out.shape == (2, 5)
+
+    def test_split_buckets_equal_unsplit(self):
+        # Splitting a bucket must not change the math (Buffalo invariant).
+        from repro.gnn.bucketing import Bucket
+
+        block = Block(
+            src_nodes=np.array([0, 1, 2, 3, 4]),
+            dst_nodes=np.array([0, 1, 2]),
+            indptr=np.array([0, 2, 4, 6]),
+            indices=np.array([3, 4, 3, 4, 0, 1]),
+        )
+        x = feats(5)
+        layer = SAGELayer(3, 4, "mean", rng=0)
+        whole = layer(block, x, cutoff=5)
+        split_buckets = [
+            Bucket(degree=2, rows=np.array([0]), micro_index=0),
+            Bucket(degree=2, rows=np.array([1, 2]), micro_index=1),
+        ]
+        split = layer(block, x, cutoff=5, buckets=split_buckets)
+        np.testing.assert_allclose(whole.data, split.data, rtol=1e-5)
+
+    def test_wrong_src_rows_raise(self):
+        layer = SAGELayer(3, 5, "mean", rng=0)
+        with pytest.raises(GraphError):
+            layer(toy_block(), feats(7), cutoff=5)
+
+    def test_no_activation_on_output_layer(self):
+        layer = SAGELayer(3, 5, "mean", activation=False, rng=0)
+        out = layer(toy_block(), feats(), cutoff=5)
+        assert (out.data < 0).any()  # logits can be negative
+
+
+class TestGraphSAGEModel:
+    def test_end_to_end_shapes(self, small_graph, batch, blocks):
+        from repro.datasets import synthesize_features, synthesize_labels
+
+        labels = synthesize_labels(small_graph, 5, seed=0)
+        features = synthesize_features(labels, 16, seed=1)
+        model = GraphSAGE(16, 32, 5, n_layers=2, aggregator="mean", rng=0)
+        input_feats = Tensor(features[batch.node_map[blocks[0].src_nodes]])
+        cutoffs = list(reversed(batch.fanouts))
+        logits = model(blocks, input_feats, cutoffs)
+        assert logits.shape == (batch.n_seeds, 5)
+
+    def test_gradients_flow_to_all_layers(self, batch, blocks):
+        model = GraphSAGE(8, 16, 3, n_layers=2, aggregator="mean", rng=0)
+        x = Tensor(np.ones((blocks[0].n_src, 8), dtype=np.float32))
+        logits = model(blocks, x, list(reversed(batch.fanouts)))
+        logits.sum().backward()
+        for p in model.parameters():
+            assert p.grad is not None
+
+    def test_layer_count_mismatch_raises(self, blocks):
+        model = GraphSAGE(8, 16, 3, n_layers=3, rng=0)
+        with pytest.raises(GraphError):
+            model(blocks, Tensor(np.ones((blocks[0].n_src, 8))), [5, 5])
+
+    def test_invalid_layers_raise(self):
+        with pytest.raises(GraphError):
+            GraphSAGE(8, 16, 3, n_layers=0)
+
+    @pytest.mark.parametrize("agg", ["mean", "sum", "max", "pool", "lstm"])
+    def test_all_aggregators_run(self, batch, blocks, agg):
+        model = GraphSAGE(8, 12, 3, n_layers=2, aggregator=agg, rng=0)
+        x = Tensor(
+            np.random.default_rng(0)
+            .normal(size=(blocks[0].n_src, 8))
+            .astype(np.float32)
+        )
+        logits = model(blocks, x, list(reversed(batch.fanouts)))
+        assert logits.shape == (batch.n_seeds, 3)
+        assert np.isfinite(logits.data).all()
+
+
+class TestGAT:
+    def test_end_to_end_shape(self, batch, blocks):
+        model = GAT(8, 16, 4, n_layers=2, rng=0)
+        x = Tensor(
+            np.random.default_rng(1)
+            .normal(size=(blocks[0].n_src, 8))
+            .astype(np.float32)
+        )
+        logits = model(blocks, x, list(reversed(batch.fanouts)))
+        assert logits.shape == (batch.n_seeds, 4)
+
+    def test_attention_weights_convexity(self):
+        # With a single neighbor, attention must reduce to that neighbor.
+        from repro.gnn.gat import GATLayer
+
+        block = Block(
+            src_nodes=np.array([0, 1]),
+            dst_nodes=np.array([0]),
+            indptr=np.array([0, 1]),
+            indices=np.array([1]),
+        )
+        layer = GATLayer(3, 3, activation=False, rng=0)
+        x = feats(2)
+        out = layer(block, x, cutoff=5)
+        expected = (
+            x.data[1:2] @ layer.proj.weight.data + layer.bias.data
+        )
+        np.testing.assert_allclose(out.data, expected, rtol=1e-4)
+
+    def test_gradients_flow(self, batch, blocks):
+        model = GAT(8, 16, 4, n_layers=2, rng=0)
+        x = Tensor(np.ones((blocks[0].n_src, 8), dtype=np.float32))
+        logits = model(blocks, x, list(reversed(batch.fanouts)))
+        logits.sum().backward()
+        for p in model.parameters():
+            assert p.grad is not None
+
+    def test_invalid_layers_raise(self):
+        with pytest.raises(GraphError):
+            GAT(8, 16, 3, n_layers=0)
+
+
+class TestPadding:
+    def test_padded_mean_matches_bucketed(self):
+        block = toy_block()
+        x = feats()
+        buckets = bucketize_degrees(block.degrees, cutoff=5)
+        bucketed = apply_bucketed(MeanAggregator(), block, buckets, x)
+        padded = padded_mean(block, x)
+        np.testing.assert_allclose(padded.data, bucketed.data, rtol=1e-5)
+
+    def test_padded_memory_larger(self):
+        # One hub (degree 10) + many degree-1 nodes: padding inflates.
+        n_leaves = 10
+        src = list(range(1, n_leaves + 1))
+        indptr = [0, n_leaves] + [n_leaves + 1] * n_leaves
+        # dst 0 has 10 nbrs; dst 1..10 each have 1 (shared src 11).
+        block = Block(
+            src_nodes=np.arange(12),
+            dst_nodes=np.arange(11),
+            indptr=np.array(
+                [0, 10] + [10 + i for i in range(1, 11)]
+            ),
+            indices=np.array(src + [11] * 10),
+        )
+        x = feats(12, 4)
+        from repro.gnn.padding import padded_neighbor_tensor
+
+        padded, mask = padded_neighbor_tensor(block, x)
+        padded_elems = padded.size
+        bucketed_elems = sum(
+            b.volume * b.degree * 4
+            for b in bucketize_degrees(block.degrees, cutoff=20)
+        )
+        assert padded_elems > 2 * bucketed_elems
+
+    def test_empty_block_raises(self):
+        block = Block(
+            src_nodes=np.array([], dtype=np.int64),
+            dst_nodes=np.array([], dtype=np.int64),
+            indptr=np.array([0]),
+            indices=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(GraphError):
+            padded_mean(block, feats(1))

@@ -1,0 +1,56 @@
+"""Tests for connected-components labeling."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list
+from repro.graph.metrics import connected_components, n_connected_components
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = from_edge_list([0, 1, 2], [1, 2, 3], n_nodes=4)
+        assert n_connected_components(g) == 1
+
+    def test_two_components(self):
+        g = from_edge_list([0, 2], [1, 3], n_nodes=4)
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert n_connected_components(g) == 2
+
+    def test_isolated_nodes(self):
+        g = from_edge_list([0], [1], n_nodes=5)
+        assert n_connected_components(g) == 4
+
+    def test_direction_ignored(self):
+        # Weak connectivity: 0 -> 1 <- 2 is one component.
+        g = from_edge_list([0, 2], [1, 1], n_nodes=3)
+        assert n_connected_components(g) == 1
+
+    def test_empty_graph(self):
+        g = from_edge_list([], [], n_nodes=0)
+        assert n_connected_components(g) == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 60, 50)
+        dst = rng.integers(0, 60, 50)
+        g = from_edge_list(src, dst, n_nodes=60)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(60))
+        nxg.add_edges_from(
+            (int(s), int(d)) for s, d in zip(src, dst) if s != d
+        )
+        assert n_connected_components(g) == nx.number_connected_components(
+            nxg
+        )
+
+    def test_generated_datasets_mostly_connected(self):
+        from repro.datasets import powerlaw_cluster_graph
+
+        g = powerlaw_cluster_graph(500, 3, 0.4, seed=0)
+        assert n_connected_components(g) == 1

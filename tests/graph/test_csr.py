@@ -1,0 +1,132 @@
+"""Unit tests for CSRGraph and edge-list construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, from_edge_list
+from repro.graph.builder import to_edge_list
+
+
+def triangle() -> CSRGraph:
+    return from_edge_list([0, 1, 2], [1, 2, 0], symmetrize=True)
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        g = from_edge_list([0, 1], [1, 2])
+        assert g.n_nodes == 3
+        assert g.n_edges == 2
+
+    def test_in_neighbor_semantics(self):
+        # Edge (0 -> 1): node 1 aggregates from node 0.
+        g = from_edge_list([0], [1])
+        assert list(g.neighbors(1)) == [0]
+        assert list(g.neighbors(0)) == []
+
+    def test_symmetrize(self):
+        g = triangle()
+        assert g.n_edges == 6
+        for v in range(3):
+            assert g.degree(v) == 2
+
+    def test_dedup(self):
+        g = from_edge_list([0, 0, 0], [1, 1, 1])
+        assert g.n_edges == 1
+
+    def test_no_dedup(self):
+        g = from_edge_list([0, 0], [1, 1], dedup=False)
+        assert g.n_edges == 2
+
+    def test_drop_self_loops(self):
+        g = from_edge_list([0, 1], [0, 0])
+        assert g.n_edges == 1
+        assert list(g.neighbors(0)) == [1]
+
+    def test_keep_self_loops(self):
+        g = from_edge_list([0], [0], drop_self_loops=False)
+        assert g.n_edges == 1
+
+    def test_explicit_n_nodes(self):
+        g = from_edge_list([0], [1], n_nodes=10)
+        assert g.n_nodes == 10
+        assert g.degree(9) == 0
+
+    def test_rows_sorted(self):
+        g = from_edge_list([5, 3, 4, 1], [0, 0, 0, 0], n_nodes=6)
+        assert list(g.neighbors(0)) == [1, 3, 4, 5]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(GraphError):
+            from_edge_list([0, 1], [1])
+
+    def test_negative_ids_raise(self):
+        with pytest.raises(GraphError):
+            from_edge_list([-1], [0])
+
+    def test_out_of_range_raise(self):
+        with pytest.raises(GraphError):
+            from_edge_list([0], [5], n_nodes=3)
+
+    def test_empty_graph(self):
+        g = from_edge_list([], [], n_nodes=4)
+        assert g.n_nodes == 4
+        assert g.n_edges == 0
+
+
+class TestValidation:
+    def test_bad_indptr_start(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_indptr_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 3]), np.array([0]))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 0]))
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+
+class TestAccessors:
+    def test_degrees_vector(self):
+        g = from_edge_list([0, 1, 2], [2, 2, 1])
+        assert list(g.degrees) == [0, 1, 2]
+
+    def test_has_edge(self):
+        g = triangle()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        g2 = from_edge_list([0], [1])
+        assert g2.has_edge(0, 1)
+        assert not g2.has_edge(1, 0)
+
+    def test_reverse_roundtrip(self):
+        g = from_edge_list([0, 1, 3], [1, 2, 2], n_nodes=4)
+        rg = g.reverse()
+        assert rg.n_edges == g.n_edges
+        assert rg.reverse() == g
+
+    def test_reverse_semantics(self):
+        g = from_edge_list([0], [1])
+        rg = g.reverse()
+        assert list(rg.neighbors(0)) == [1]
+        assert list(rg.neighbors(1)) == []
+
+    def test_to_edge_list_roundtrip(self):
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 2, 3, 0])
+        g = from_edge_list(src, dst)
+        s2, d2 = to_edge_list(g)
+        g2 = from_edge_list(s2, d2, n_nodes=g.n_nodes)
+        assert g2 == g
+
+    def test_nbytes_positive(self):
+        assert triangle().nbytes > 0
+
+    def test_repr(self):
+        assert "n_nodes=3" in repr(triangle())

@@ -1,0 +1,150 @@
+"""Unit tests for graph metrics (clustering, power-law fit, histograms)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    average_clustering,
+    degree_histogram,
+    fit_power_law,
+    from_edge_list,
+    is_power_law,
+)
+from repro.graph.metrics import (
+    average_degree,
+    degree_assortativity,
+    local_clustering,
+)
+
+
+def complete_graph(n: int):
+    src, dst = [], []
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                src.append(i)
+                dst.append(j)
+    return from_edge_list(src, dst)
+
+
+class TestClustering:
+    def test_triangle_clustering_is_one(self):
+        g = from_edge_list([0, 1, 2], [1, 2, 0], symmetrize=True)
+        assert average_clustering(g) == pytest.approx(1.0)
+
+    def test_star_clustering_is_zero(self):
+        g = from_edge_list([0, 0, 0], [1, 2, 3], symmetrize=True)
+        assert average_clustering(g) == pytest.approx(0.0)
+
+    def test_complete_graph(self):
+        assert average_clustering(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_local_low_degree_is_zero(self):
+        g = from_edge_list([0], [1], symmetrize=True)
+        assert local_clustering(g, 0) == 0.0
+
+    def test_path_graph(self):
+        g = from_edge_list([0, 1], [1, 2], symmetrize=True)
+        assert average_clustering(g) == pytest.approx(0.0)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(7)
+        nxg = nx.gnp_random_graph(60, 0.15, seed=4)
+        src = [u for u, v in nxg.edges]
+        dst = [v for u, v in nxg.edges]
+        g = from_edge_list(src, dst, n_nodes=60, symmetrize=True)
+        del rng
+        assert average_clustering(g) == pytest.approx(
+            nx.average_clustering(nxg), abs=1e-9
+        )
+
+    def test_sampled_estimate_close(self):
+        import networkx as nx
+
+        nxg = nx.powerlaw_cluster_graph(400, 4, 0.3, seed=3)
+        src = [u for u, v in nxg.edges]
+        dst = [v for u, v in nxg.edges]
+        g = from_edge_list(src, dst, n_nodes=400, symmetrize=True)
+        full = average_clustering(g)
+        est = average_clustering(g, sample=200, seed=1)
+        assert est == pytest.approx(full, abs=0.1)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            average_clustering(from_edge_list([], [], n_nodes=0))
+
+
+class TestPowerLaw:
+    def test_fit_recovers_exponent(self):
+        rng = np.random.default_rng(0)
+        alpha = 2.5
+        # Inverse-CDF sampling of a continuous power law, d_min = 2.
+        u = rng.random(200_000)
+        # Discrete power-law degrees via floor of the continuous sample;
+        # the estimator uses the (d_min - 0.5) discrete correction.
+        degrees = np.floor(
+            1.5 * (1.0 - u) ** (-1.0 / (alpha - 1.0)) + 0.5
+        )
+        fitted = fit_power_law(degrees, d_min=2)
+        assert fitted == pytest.approx(alpha, abs=0.1)
+
+    def test_fit_degenerate(self):
+        assert fit_power_law(np.array([1.0])) == float("inf")
+
+    def test_uniform_graph_not_power_law(self):
+        g = complete_graph(20)
+        assert not is_power_law(g)
+
+    def test_ba_graph_is_power_law(self):
+        import networkx as nx
+
+        nxg = nx.barabasi_albert_graph(3000, 3, seed=1)
+        src = [u for u, v in nxg.edges]
+        dst = [v for u, v in nxg.edges]
+        g = from_edge_list(src, dst, n_nodes=3000, symmetrize=True)
+        assert is_power_law(g)
+
+
+class TestHistogramsAndDegree:
+    def test_degree_histogram(self):
+        g = from_edge_list([0, 1, 2], [2, 2, 1])
+        hist = degree_histogram(g)
+        assert hist[0] == 1  # node 0
+        assert hist[1] == 1  # node 2
+        assert hist[2] == 1  # node 1
+
+    def test_average_degree(self):
+        g = from_edge_list([0, 1, 2], [1, 2, 0])
+        assert average_degree(g) == pytest.approx(1.0)
+
+    def test_average_degree_empty_raises(self):
+        with pytest.raises(GraphError):
+            average_degree(from_edge_list([], [], n_nodes=0))
+
+
+class TestAssortativity:
+    def test_regular_graph_is_zero(self):
+        g = from_edge_list([0, 1, 2], [1, 2, 0], symmetrize=True)
+        assert degree_assortativity(g) == 0.0
+
+    def test_star_is_disassortative(self):
+        g = from_edge_list([0] * 5, [1, 2, 3, 4, 5], symmetrize=True)
+        assert degree_assortativity(g) < -0.9
+
+    def test_ba_graph_disassortative(self):
+        import networkx as nx
+
+        nxg = nx.barabasi_albert_graph(800, 3, seed=0)
+        src = [u for u, v in nxg.edges]
+        dst = [v for u, v in nxg.edges]
+        g = from_edge_list(src, dst, n_nodes=800, symmetrize=True)
+        ours = degree_assortativity(g)
+        theirs = nx.degree_assortativity_coefficient(nxg)
+        assert ours == pytest.approx(theirs, abs=0.02)
+
+    def test_edgeless_raises(self):
+        with pytest.raises(GraphError):
+            degree_assortativity(from_edge_list([], [], n_nodes=3))

@@ -1,0 +1,78 @@
+"""Unit tests for induced subgraphs and k-hop expansion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import from_edge_list, induced_subgraph, khop_in_nodes
+from repro.graph.subgraph import gather_rows
+
+
+@pytest.fixture
+def chain():
+    # 0 -> 1 -> 2 -> 3 -> 4 (each node aggregates from its predecessor)
+    return from_edge_list([0, 1, 2, 3], [1, 2, 3, 4])
+
+
+class TestKhop:
+    def test_zero_hops(self, chain):
+        assert list(khop_in_nodes(chain, np.array([3]), 0)) == [3]
+
+    def test_one_hop(self, chain):
+        assert list(khop_in_nodes(chain, np.array([3]), 1)) == [2, 3]
+
+    def test_full_depth(self, chain):
+        assert list(khop_in_nodes(chain, np.array([4]), 10)) == [0, 1, 2, 3, 4]
+
+    def test_multiple_seeds(self, chain):
+        assert list(khop_in_nodes(chain, np.array([1, 4]), 1)) == [0, 1, 3, 4]
+
+    def test_negative_hops_raise(self, chain):
+        with pytest.raises(GraphError):
+            khop_in_nodes(chain, np.array([0]), -1)
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self, chain):
+        sub, node_map = induced_subgraph(chain, np.array([1, 2, 3]))
+        assert list(node_map) == [1, 2, 3]
+        assert sub.n_edges == 2
+        assert list(sub.neighbors(1)) == [0]  # local 1 == global 2
+        assert list(sub.neighbors(2)) == [1]
+
+    def test_drops_boundary_edges(self, chain):
+        sub, _ = induced_subgraph(chain, np.array([0, 4]))
+        assert sub.n_edges == 0
+
+    def test_dedups_input(self, chain):
+        sub, node_map = induced_subgraph(chain, np.array([2, 2, 1]))
+        assert list(node_map) == [1, 2]
+        assert sub.n_edges == 1
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(11)
+        src = rng.integers(0, 50, size=400)
+        dst = rng.integers(0, 50, size=400)
+        g = from_edge_list(src, dst, n_nodes=50)
+        nodes = np.unique(rng.integers(0, 50, size=20))
+        sub, node_map = induced_subgraph(g, nodes)
+        nodeset = set(int(x) for x in nodes)
+        expected = sum(
+            1
+            for v in nodes
+            for u in g.neighbors(int(v))
+            if int(u) in nodeset
+        )
+        assert sub.n_edges == expected
+
+
+class TestGatherRows:
+    def test_basic(self, chain):
+        indptr, flat = gather_rows(chain, np.array([1, 4]))
+        assert list(indptr) == [0, 1, 2]
+        assert list(flat) == [0, 3]
+
+    def test_empty_rows(self, chain):
+        indptr, flat = gather_rows(chain, np.array([0, 0]))
+        assert list(indptr) == [0, 0, 0]
+        assert flat.size == 0

@@ -1,0 +1,101 @@
+"""Tests for the LSTM cell and sequence module."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, LSTMCell, SGD
+from repro.tensor import Tensor
+
+
+class TestLSTMCell:
+    def test_output_shapes(self):
+        cell = LSTMCell(4, 6, rng=0)
+        h0 = Tensor(np.zeros((3, 6)))
+        c0 = Tensor(np.zeros((3, 6)))
+        h, c = cell(Tensor(np.ones((3, 4))), (h0, c0))
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_bounded_hidden(self):
+        cell = LSTMCell(4, 6, rng=0)
+        h0 = Tensor(np.zeros((2, 6)))
+        c0 = Tensor(np.zeros((2, 6)))
+        h, _ = cell(Tensor(np.full((2, 4), 100.0)), (h0, c0))
+        assert np.abs(h.data).max() <= 1.0  # o * tanh(c) is bounded
+
+    def test_gradients_reach_weights(self):
+        cell = LSTMCell(3, 5, rng=0)
+        h0 = Tensor(np.zeros((2, 5)))
+        c0 = Tensor(np.zeros((2, 5)))
+        h, _ = cell(Tensor(np.ones((2, 3)), requires_grad=True), (h0, c0))
+        h.sum().backward()
+        assert cell.weight.grad is not None
+        assert cell.bias.grad is not None
+
+    def test_matches_manual_computation(self):
+        cell = LSTMCell(2, 2, rng=0)
+        x = np.array([[0.5, -0.3]], dtype=np.float32)
+        h0 = np.zeros((1, 2), dtype=np.float32)
+        c0 = np.zeros((1, 2), dtype=np.float32)
+        h, c = cell(Tensor(x), (Tensor(h0), Tensor(c0)))
+
+        def sig(z):
+            return 1 / (1 + np.exp(-z))
+
+        fused = np.concatenate([x, h0], axis=1) @ cell.weight.data + cell.bias.data
+        i, f, g, o = np.split(fused, 4, axis=1)
+        c_exp = sig(f) * c0 + sig(i) * np.tanh(g)
+        h_exp = sig(o) * np.tanh(c_exp)
+        np.testing.assert_allclose(h.data, h_exp, rtol=1e-5)
+        np.testing.assert_allclose(c.data, c_exp, rtol=1e-5)
+
+
+class TestLSTMSequence:
+    def test_output_shape(self):
+        lstm = LSTM(4, 8, rng=0)
+        out = lstm(Tensor(np.ones((5, 7, 4))))
+        assert out.shape == (5, 8)
+
+    def test_zero_steps_gives_zero_state(self):
+        lstm = LSTM(4, 8, rng=0)
+        out = lstm(Tensor(np.ones((3, 0, 4))))
+        np.testing.assert_array_equal(out.data, 0.0)
+
+    def test_order_sensitivity(self):
+        # LSTM aggregation is order-sensitive (unlike mean).
+        lstm = LSTM(3, 4, rng=0)
+        rng = np.random.default_rng(0)
+        seq = rng.normal(size=(1, 5, 3)).astype(np.float32)
+        fwd = lstm(Tensor(seq)).data
+        rev = lstm(Tensor(seq[:, ::-1, :].copy())).data
+        assert not np.allclose(fwd, rev)
+
+    def test_learns_last_step_identity(self):
+        # A trainable sanity check: predict the last input element.
+        rng = np.random.default_rng(0)
+        lstm = LSTM(1, 4, rng=1)
+        from repro.nn import Linear
+
+        head = Linear(4, 1, rng=2)
+        params = list(lstm.parameters()) + list(head.parameters())
+        opt = SGD(params, lr=0.1)
+        losses = []
+        for _ in range(60):
+            x = rng.normal(size=(16, 3, 1)).astype(np.float32)
+            target = x[:, -1, 0:1]
+            opt.zero_grad()
+            pred = head(lstm(Tensor(x)))
+            diff = pred - Tensor(target)
+            loss = (diff * diff).mean()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_backward_through_time(self):
+        lstm = LSTM(2, 3, rng=0)
+        x = Tensor(np.ones((2, 4, 2)), requires_grad=True)
+        lstm(x).sum().backward()
+        assert x.grad is not None
+        # Every timestep influences the final state.
+        assert np.all(np.abs(x.grad).sum(axis=(0, 2)) > 0)

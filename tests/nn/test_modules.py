@@ -1,0 +1,198 @@
+"""Tests for Module mechanics, Linear, activations, and losses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.nn import (
+    ELU,
+    Adam,
+    CrossEntropyLoss,
+    LeakyReLU,
+    Linear,
+    Module,
+    MSELoss,
+    Parameter,
+    ReLU,
+    SGD,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn import init
+from repro.tensor import Tensor
+
+
+class TinyNet(Module):
+    def __init__(self):
+        self.fc1 = Linear(4, 8, rng=0)
+        self.fc2 = Linear(8, 3, rng=1)
+        self.act = ReLU()
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestModule:
+    def test_parameter_discovery(self):
+        net = TinyNet()
+        params = list(net.parameters())
+        assert len(params) == 4  # two weights + two biases
+
+    def test_parameter_discovery_in_lists(self):
+        class ListNet(Module):
+            def __init__(self):
+                self.layers = [Linear(2, 2, rng=0), Linear(2, 2, rng=1)]
+
+        assert len(list(ListNet().parameters())) == 4
+
+    def test_n_parameters(self):
+        net = TinyNet()
+        assert net.n_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_zero_grad(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_state_dict_roundtrip(self):
+        a = TinyNet()
+        b = TinyNet()
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_copies(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"][:] = 0
+        assert not np.allclose(net.fc1.weight.data, 0)
+
+    def test_load_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(5, 3, rng=0)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = Linear(5, 3, bias=False, rng=0)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 5))))
+        np.testing.assert_allclose(out.data, 0)
+
+    def test_gradient_flows(self):
+        layer = Linear(3, 2, rng=0)
+        out = layer(Tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, 4.0)
+
+    def test_deterministic_init(self):
+        a = Linear(4, 4, rng=11)
+        b = Linear(4, 4, rng=11)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "act,fn",
+        [
+            (ReLU(), lambda x: np.maximum(x, 0)),
+            (Tanh(), np.tanh),
+            (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+            (LeakyReLU(0.1), lambda x: np.where(x > 0, x, 0.1 * x)),
+            (ELU(1.0), lambda x: np.where(x > 0, x, np.expm1(x))),
+        ],
+    )
+    def test_matches_numpy(self, act, fn):
+        x = np.linspace(-2, 2, 9, dtype=np.float32)
+        out = act(Tensor(x))
+        np.testing.assert_allclose(out.data, fn(x), rtol=1e-5, atol=1e-6)
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = CrossEntropyLoss()(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 8)))
+        loss = CrossEntropyLoss()(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(8), rel=1e-5)
+
+    def test_mse(self):
+        loss = MSELoss()(Tensor(np.array([1.0, 3.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(5.0)
+
+    def test_sum_reduction_scales(self):
+        logits = Tensor(np.zeros((4, 2)))
+        mean = CrossEntropyLoss("mean")(logits, np.zeros(4, int)).item()
+        total = CrossEntropyLoss("sum")(logits, np.zeros(4, int)).item()
+        assert total == pytest.approx(4 * mean)
+
+
+class TestInit:
+    def test_xavier_bounds(self):
+        w = init.xavier_uniform((100, 50), rng=0)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+
+    def test_kaiming_bounds(self):
+        w = init.kaiming_uniform((100, 50), rng=0)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 100)
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3,)), 0)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, make_opt, steps=150):
+        # Minimize (w - 3)^2 elementwise.
+        w = Parameter(np.zeros(4))
+        opt = make_opt([w])
+        for _ in range(steps):
+            opt.zero_grad()
+            loss = ((w - 3.0) * (w - 3.0)).sum()
+            loss.backward()
+            opt.step()
+        return w.data
+
+    def test_sgd_converges(self):
+        final = self._quadratic_descent(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(final, 3.0, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        final = self._quadratic_descent(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_adam_converges(self):
+        final = self._quadratic_descent(lambda p: Adam(p, lr=0.1), steps=300)
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ReproError):
+            SGD([])
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ReproError):
+            SGD([Parameter(np.zeros(1))], lr=0)
+        with pytest.raises(ReproError):
+            Adam([Parameter(np.zeros(1))], lr=-1)
+
+    def test_step_skips_gradless_params(self):
+        w = Parameter(np.ones(2))
+        opt = SGD([w], lr=0.5)
+        opt.step()  # no grad -> no change
+        np.testing.assert_array_equal(w.data, 1.0)

@@ -1,0 +1,291 @@
+"""Gradient-correctness tests for the autograd engine.
+
+Every op is verified against central finite differences via
+:func:`check_grad`, plus targeted unit tests for graph mechanics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AutogradError
+from repro.tensor import (
+    Tensor,
+    concat,
+    cross_entropy_with_logits,
+    gather_rows,
+    log_softmax,
+    no_grad,
+    softmax,
+    stack,
+    where,
+)
+
+
+def check_grad(fn, *arrays, eps=1e-3, tol=2e-2):
+    """Compare autograd gradients of ``fn(*tensors).sum()`` with FD."""
+    tensors = [Tensor(a.astype(np.float64), requires_grad=True) for a in arrays]
+    # Use float64 data directly for precision.
+    for t, a in zip(tensors, arrays):
+        t.data = a.astype(np.float64)
+    out = fn(*tensors)
+    loss = out.sum() if out.size > 1 else out
+    loss.backward()
+
+    for idx, (t, a) in enumerate(zip(tensors, arrays)):
+        numeric = np.zeros_like(a, dtype=np.float64)
+        flat = a.astype(np.float64).ravel()
+        for i in range(flat.size):
+            plus = flat.copy()
+            plus[i] += eps
+            minus = flat.copy()
+            minus[i] -= eps
+            args_p = [x.astype(np.float64) for x in arrays]
+            args_m = [x.astype(np.float64) for x in arrays]
+            args_p[idx] = plus.reshape(a.shape)
+            args_m[idx] = minus.reshape(a.shape)
+            f_p = fn(*[Tensor(x) for x in args_p])
+            f_m = fn(*[Tensor(x) for x in args_m])
+            numeric.ravel()[i] = (
+                float(f_p.data.sum()) - float(f_m.data.sum())
+            ) / (2 * eps)
+        assert t.grad is not None, f"missing grad for arg {idx}"
+        np.testing.assert_allclose(t.grad, numeric, rtol=tol, atol=tol)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestElementwiseGrads:
+    def test_add(self):
+        check_grad(lambda a, b: a + b, RNG.normal(size=(3, 4)), RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast(self):
+        check_grad(lambda a, b: a + b, RNG.normal(size=(3, 4)), RNG.normal(size=(4,)))
+
+    def test_mul(self):
+        check_grad(lambda a, b: a * b, RNG.normal(size=(2, 3)), RNG.normal(size=(2, 3)))
+
+    def test_mul_broadcast_scalar_shape(self):
+        check_grad(lambda a, b: a * b, RNG.normal(size=(2, 3)), RNG.normal(size=(1,)))
+
+    def test_sub(self):
+        check_grad(lambda a, b: a - b, RNG.normal(size=(3,)), RNG.normal(size=(3,)))
+
+    def test_div(self):
+        check_grad(
+            lambda a, b: a / b,
+            RNG.normal(size=(3,)),
+            RNG.normal(size=(3,)) + 3.0,
+        )
+
+    def test_pow(self):
+        check_grad(lambda a: a**3, RNG.normal(size=(4,)) + 2.0)
+
+    def test_neg(self):
+        check_grad(lambda a: -a, RNG.normal(size=(3,)))
+
+    def test_relu(self):
+        check_grad(lambda a: a.relu(), RNG.normal(size=(10,)) + 0.3)
+
+    def test_tanh(self):
+        check_grad(lambda a: a.tanh(), RNG.normal(size=(5,)))
+
+    def test_sigmoid(self):
+        check_grad(lambda a: a.sigmoid(), RNG.normal(size=(5,)))
+
+    def test_exp(self):
+        check_grad(lambda a: a.exp(), RNG.normal(size=(5,)))
+
+    def test_log(self):
+        check_grad(lambda a: a.log(), RNG.random(5) + 0.5)
+
+    def test_leaky_relu(self):
+        check_grad(lambda a: a.leaky_relu(0.1), RNG.normal(size=(8,)) + 0.2)
+
+
+class TestMatmulAndShapes:
+    def test_matmul(self):
+        check_grad(
+            lambda a, b: a @ b, RNG.normal(size=(3, 4)), RNG.normal(size=(4, 2))
+        )
+
+    def test_batched_matmul(self):
+        check_grad(
+            lambda a, b: a @ b,
+            RNG.normal(size=(2, 3, 4)),
+            RNG.normal(size=(2, 4, 2)),
+        )
+
+    def test_reshape(self):
+        check_grad(lambda a: (a.reshape(6) * 2), RNG.normal(size=(2, 3)))
+
+    def test_transpose(self):
+        check_grad(lambda a: a.T @ a, RNG.normal(size=(3, 2)))
+
+    def test_getitem(self):
+        check_grad(lambda a: a[1:3] * 3.0, RNG.normal(size=(5, 2)))
+
+    def test_gather_rows_accumulates_duplicates(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = gather_rows(x, np.array([0, 0, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[2, 2], [0, 0], [1, 1]])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_grad(lambda a: a.sum(), RNG.normal(size=(3, 4)))
+
+    def test_sum_axis(self):
+        check_grad(lambda a: a.sum(axis=1), RNG.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda a: a.sum(axis=0, keepdims=True), RNG.normal(size=(3, 4)))
+
+    def test_mean(self):
+        check_grad(lambda a: a.mean(axis=1), RNG.normal(size=(3, 4)))
+
+    def test_max(self):
+        # Perturbation-safe input: distinct values far apart.
+        a = np.arange(12, dtype=np.float64).reshape(3, 4) * 1.7
+        check_grad(lambda t: t.max(axis=1), a)
+
+
+class TestCombinators:
+    def test_concat(self):
+        check_grad(
+            lambda a, b: concat([a, b], axis=0),
+            RNG.normal(size=(2, 3)),
+            RNG.normal(size=(4, 3)),
+        )
+
+    def test_stack(self):
+        check_grad(
+            lambda a, b: stack([a, b], axis=0) * 2.0,
+            RNG.normal(size=(2, 3)),
+            RNG.normal(size=(2, 3)),
+        )
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        check_grad(
+            lambda a, b: where(cond, a, b),
+            RNG.normal(size=(3,)),
+            RNG.normal(size=(3,)),
+        )
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(AutogradError):
+            concat([])
+
+
+class TestSoftmaxFamily:
+    def test_softmax_grad(self):
+        weight = RNG.normal(size=(3, 4))
+        check_grad(lambda a: softmax(a, axis=1) * weight,
+                   RNG.normal(size=(3, 4)))
+
+    def test_softmax_rows_sum_to_one(self):
+        out = softmax(Tensor(RNG.normal(size=(5, 7))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_log_softmax_grad(self):
+        weight = RNG.normal(size=(3, 4))
+        check_grad(lambda a: log_softmax(a, axis=1) * weight,
+                   RNG.normal(size=(3, 4)))
+
+    def test_log_softmax_stability(self):
+        out = log_softmax(Tensor(np.array([[1000.0, 1000.0]])))
+        assert np.isfinite(out.data).all()
+
+    def test_cross_entropy_matches_manual(self):
+        logits = RNG.normal(size=(6, 4))
+        targets = np.array([0, 1, 2, 3, 0, 1])
+        loss = cross_entropy_with_logits(Tensor(logits), targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -logp[np.arange(6), targets].mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_cross_entropy_grad(self):
+        targets = np.array([0, 2, 1])
+        check_grad(
+            lambda a: cross_entropy_with_logits(a, targets, reduction="sum"),
+            RNG.normal(size=(3, 4)),
+        )
+
+    def test_cross_entropy_shape_errors(self):
+        with pytest.raises(AutogradError):
+            cross_entropy_with_logits(Tensor(np.zeros(3)), np.zeros(3, int))
+        with pytest.raises(AutogradError):
+            cross_entropy_with_logits(
+                Tensor(np.zeros((3, 2))), np.zeros(2, int)
+            )
+        with pytest.raises(AutogradError):
+            cross_entropy_with_logits(
+                Tensor(np.zeros((3, 2))), np.zeros(3, int), reduction="bogus"
+            )
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        out = a * b  # 6 x^2 -> grad 12 x = 18
+        out.backward()
+        assert x.grad[0] == pytest.approx(18.0)
+
+    def test_backward_nonscalar_raises(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(AutogradError):
+            (x * 2).backward()
+
+    def test_backward_without_grad_raises(self):
+        x = Tensor(np.ones(1))
+        with pytest.raises(AutogradError):
+            x.backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        (d * 2).sum()  # no error, no graph
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_float32_coercion(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_int_arrays_keep_dtype(self):
+        t = Tensor(np.zeros(3, dtype=np.int64))
+        assert t.dtype == np.int64
+
+    def test_item_and_numpy(self):
+        t = Tensor(np.array([4.0]))
+        assert t.item() == 4.0
+        assert t.numpy() is t.data
+
+    def test_second_backward_accumulates(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x * 5.0
+        y.backward()
+        y.backward()
+        assert x.grad[0] == pytest.approx(10.0)

@@ -1,0 +1,169 @@
+"""Edge-case and property tests for the tensor engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AutogradError
+from repro.tensor import Tensor, concat, gather_rows, no_grad, stack, where
+
+
+class TestBroadcastingGrads:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(1, 6),
+        cols=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    def test_bias_broadcast_grad_sums_rows(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(rows, cols)).astype(np.float32))
+        b = Tensor(
+            rng.normal(size=(cols,)).astype(np.float32),
+            requires_grad=True,
+        )
+        (x + b).sum().backward()
+        np.testing.assert_allclose(b.grad, rows * np.ones(cols), rtol=1e-5)
+
+    def test_scalar_broadcast(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        s = Tensor(np.array(2.0), requires_grad=True)
+        (x * s).sum().backward()
+        assert s.grad == pytest.approx(6.0)
+        np.testing.assert_allclose(x.grad, 2.0)
+
+    def test_keepdims_broadcast_grad(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        row_sum = x.sum(axis=1, keepdims=True)  # (3, 1)
+        (x / row_sum).sum().backward()
+        assert x.grad is not None
+        assert x.grad.shape == (3, 4)
+
+
+class TestViewsAndIndexing:
+    def test_chained_getitem(self):
+        x = Tensor(np.arange(24, dtype=np.float32).reshape(4, 6),
+                   requires_grad=True)
+        y = x[1:3][0]
+        y.sum().backward()
+        expected = np.zeros((4, 6))
+        expected[1] = 1
+        np.testing.assert_array_equal(x.grad, expected)
+
+    def test_boolean_mask_indexing(self):
+        x = Tensor(np.arange(5, dtype=np.float32), requires_grad=True)
+        mask = np.array([True, False, True, False, True])
+        x[mask].sum().backward()
+        np.testing.assert_array_equal(x.grad, mask.astype(np.float32))
+
+    def test_gather_rows_2d_index(self):
+        x = Tensor(np.eye(4, dtype=np.float32), requires_grad=True)
+        idx = np.array([[0, 1], [2, 3]])
+        out = gather_rows(x, idx)
+        assert out.shape == (2, 2, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)
+
+    def test_empty_slice(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = x[3:]
+        assert out.shape == (0, 2)
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, 0.0)
+
+
+class TestNumericalStability:
+    def test_sigmoid_extremes(self):
+        x = Tensor(np.array([-1e4, 0.0, 1e4], dtype=np.float32))
+        out = x.sigmoid()
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-6)
+        assert np.isfinite(out.data).all()
+
+    def test_softmax_one_hot_limit(self):
+        from repro.tensor import softmax
+
+        out = softmax(Tensor(np.array([[0.0, 1e4]], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [[0.0, 1.0]], atol=1e-6)
+
+    def test_tanh_extremes(self):
+        x = Tensor(np.array([-1e3, 1e3], dtype=np.float32),
+                   requires_grad=True)
+        out = x.tanh()
+        out.sum().backward()
+        np.testing.assert_allclose(out.data, [-1.0, 1.0])
+        np.testing.assert_allclose(x.grad, 0.0, atol=1e-6)
+
+
+class TestGraphReleaseSemantics:
+    def test_no_grad_nested(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            with no_grad():
+                y = x * 2
+            z = x * 3
+        assert not y.requires_grad
+        assert not z.requires_grad
+        w = x * 4
+        assert w.requires_grad  # restored
+
+    def test_no_grad_restored_after_exception(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert (x * 2).requires_grad
+
+    def test_mixed_grad_parents(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3))  # no grad
+        out = (a * b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 1.0)
+        assert b.grad is None
+
+
+class TestOpErrors:
+    def test_pow_tensor_exponent_rejected(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(AutogradError):
+            x ** Tensor(np.ones(2))
+
+    def test_stack_empty_raises(self):
+        with pytest.raises(AutogradError):
+            stack([])
+
+
+class TestWhereAndConcatGrads:
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 20), seed=st.integers(0, 50))
+    def test_where_partitions_gradient(self, n, seed):
+        rng = np.random.default_rng(seed)
+        cond = rng.random(n) < 0.5
+        a = Tensor(rng.normal(size=n).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.normal(size=n).astype(np.float32), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, cond.astype(np.float32))
+        np.testing.assert_array_equal(b.grad, (~cond).astype(np.float32))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 5), min_size=2, max_size=5),
+        seed=st.integers(0, 50),
+    )
+    def test_concat_grad_splits_exactly(self, sizes, seed):
+        rng = np.random.default_rng(seed)
+        tensors = [
+            Tensor(rng.normal(size=(s, 2)).astype(np.float32),
+                   requires_grad=True)
+            for s in sizes
+        ]
+        out = concat(tensors, axis=0)
+        weights = rng.normal(size=out.shape).astype(np.float32)
+        (out * weights).sum().backward()
+        offset = 0
+        for t, s in zip(tensors, sizes):
+            np.testing.assert_allclose(
+                t.grad, weights[offset : offset + s], rtol=1e-6
+            )
+            offset += s

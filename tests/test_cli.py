@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestDatasets:
+    def test_prints_all(self, capsys):
+        assert main(["datasets", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cora", "ogbn_papers", "reddit"):
+            assert name in out
+
+
+class TestTrain:
+    def test_trains(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "cora",
+                "--scale",
+                "0.2",
+                "--epochs",
+                "1",
+                "--batch-size",
+                "30",
+                "--fanouts",
+                "5,5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch 0" in out
+        assert "loss=" in out
+
+    def test_with_eval_and_checkpoint(self, capsys, tmp_path):
+        ckpt = tmp_path / "model.npz"
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "cora",
+                "--scale",
+                "0.2",
+                "--epochs",
+                "1",
+                "--batch-size",
+                "30",
+                "--fanouts",
+                "5,5",
+                "--eval",
+                "--checkpoint",
+                str(ckpt),
+            ]
+        )
+        assert code == 0
+        assert "val_acc=" in capsys.readouterr().out
+        assert ckpt.exists()
+
+    def test_fanout_mismatch_exits(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    "--layers",
+                    "3",
+                    "--fanouts",
+                    "5,5",
+                    "--dataset",
+                    "cora",
+                ]
+            )
+
+    def test_bad_fanouts_exit(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--fanouts", "ten,five", "--dataset", "cora"])
+
+
+class TestSchedule:
+    def test_prints_plan(self, capsys):
+        code = main(
+            [
+                "schedule",
+                "--dataset",
+                "ogbn_arxiv",
+                "--scale",
+                "0.05",
+                "--n-seeds",
+                "100",
+                "--fanouts",
+                "5,5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bucket groups" in out
+        assert "group 0" in out
+
+
+class TestExperiment:
+    def test_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_name_lists(self, capsys):
+        assert main(["experiment"]) == 0
+        assert "fig10" in capsys.readouterr().out
+
+    def test_unknown_name_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_runs_fig01(self, capsys):
+        assert main(["experiment", "fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out
+        assert "[PASS]" in out
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

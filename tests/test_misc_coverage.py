@@ -1,0 +1,118 @@
+"""Miscellaneous coverage: reprs, small accessors, and corner paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import BucketGroup
+from repro.core.microbatch import MicroBatch
+from repro.core.fastblock import generate_blocks_fast
+from repro.datasets import load
+from repro.device import A100_80GB, SimulatedGPU
+from repro.gnn import Block, MeanAggregator, SumAggregator, bucketize_degrees
+from repro.gnn.bucketing import BucketStats
+from repro.graph import CSRGraph, from_edge_list, sample_batch
+from repro.tensor import Tensor
+
+
+class TestReprs:
+    def test_block_repr(self):
+        b = Block(
+            src_nodes=np.array([0, 1]),
+            dst_nodes=np.array([0]),
+            indptr=np.array([0, 1]),
+            indices=np.array([1]),
+        )
+        assert "n_dst=1" in repr(b)
+
+    def test_micro_batch_repr(self):
+        ds = load("cora", scale=0.1, seed=0)
+        batch = sample_batch(ds.graph, ds.train_nodes[:5], [3, 3], rng=0)
+        blocks = generate_blocks_fast(batch)
+        mb = MicroBatch(
+            blocks=blocks,
+            seed_rows=np.arange(batch.n_seeds),
+            group=BucketGroup(),
+        )
+        assert f"n_output={batch.n_seeds}" in repr(mb)
+        assert mb.n_input == blocks[0].n_src
+
+    def test_bucket_group_repr_empty(self):
+        g = BucketGroup()
+        assert "n_buckets=0" in repr(g)
+        assert g.rows.size == 0
+        assert g.n_output == 0
+
+    def test_tensor_repr(self):
+        t = Tensor(np.zeros((2, 3)), requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+        assert "shape=(2, 3)" in repr(t)
+
+
+class TestDeviceSpecs:
+    def test_a100_device(self):
+        gpu = SimulatedGPU(spec=A100_80GB)
+        assert gpu.capacity == A100_80GB.capacity_bytes
+        assert "A100" in repr(gpu)
+
+    def test_named_device(self):
+        gpu = SimulatedGPU(capacity_bytes=10**9, name="test-gpu")
+        assert gpu.name == "test-gpu"
+
+
+class TestAggregatorCorners:
+    def test_empty_bucket_output_dims(self):
+        from repro.gnn.bucketing import Bucket
+
+        block = Block(
+            src_nodes=np.array([0]),
+            dst_nodes=np.array([0]),
+            indptr=np.array([0, 0]),
+            indices=np.array([], dtype=np.int64),
+        )
+        bucket = Bucket(degree=0, rows=np.array([0]))
+        feats = Tensor(np.ones((1, 4), dtype=np.float32))
+        for agg in (MeanAggregator(), SumAggregator()):
+            out = agg(block, bucket, feats)
+            assert out.shape == (1, 4)
+            np.testing.assert_array_equal(out.data, 0.0)
+
+    def test_empty_bucket_inherits_device(self):
+        from repro.gnn.bucketing import Bucket
+
+        gpu = SimulatedGPU(capacity_bytes=10**8)
+        block = Block(
+            src_nodes=np.array([0]),
+            dst_nodes=np.array([0]),
+            indptr=np.array([0, 0]),
+            indices=np.array([], dtype=np.int64),
+        )
+        bucket = Bucket(degree=0, rows=np.array([0]))
+        feats = Tensor(np.ones((1, 4), dtype=np.float32), device=gpu)
+        out = MeanAggregator()(block, bucket, feats)
+        assert out.device is gpu
+
+
+class TestBucketStats:
+    def test_from_buckets(self):
+        buckets = bucketize_degrees(np.array([1, 1, 5, 5, 5]), cutoff=10)
+        stats = BucketStats.from_buckets(buckets)
+        assert stats.volumes == {1: 2, 5: 3}
+        assert stats.imbalance == pytest.approx(3 / 2.5)
+
+    def test_empty(self):
+        assert BucketStats().imbalance == 0.0
+
+
+class TestCSRCorners:
+    def test_neighbor_slices(self):
+        g = from_edge_list([0, 1], [1, 2])
+        slices = list(g.neighbor_slices(np.array([1, 2])))
+        assert [list(s) for s in slices] == [[0], [1]]
+
+    def test_eq_non_graph(self):
+        g = from_edge_list([0], [1])
+        assert g != "not a graph"
+
+    def test_validate_on_construction(self):
+        # validate=True path (default) on clean input is a no-op.
+        CSRGraph(np.array([0, 1]), np.array([0]))

@@ -1,0 +1,185 @@
+"""Cross-module property-based tests (hypothesis).
+
+These target invariants that must hold for *any* input, complementing
+the example-based suites: partitioner output validity, scheduler seed
+coverage, footprint monotonicity, and the feature cache against a
+reference model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.metis import WeightedGraph, edge_cut, metis_partition
+from repro.core import BuffaloScheduler, generate_blocks_fast
+from repro.datasets import powerlaw_cluster_graph
+from repro.device import SimulatedGPU
+from repro.device.feature_cache import FeatureCache
+from repro.errors import SchedulingError
+from repro.gnn.footprint import (
+    ModelSpec,
+    aggregator_bucket_footprint,
+    layer_footprint,
+)
+from repro.graph import sample_batch
+
+
+# ----------------------------------------------------------------------
+# METIS
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 60),
+    m=st.integers(3, 150),
+    k=st.integers(1, 5),
+    seed=st.integers(0, 100),
+)
+def test_metis_output_always_valid(n, m, k, seed):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    graph = WeightedGraph.from_edges(src, dst, np.ones(m), n)
+    parts = metis_partition(graph, k, seed=seed)
+    # Every node labeled, labels in range.
+    assert parts.shape == (n,)
+    assert parts.min() >= 0
+    assert parts.max() < k
+    # Edge cut is non-negative and bounded by total edge weight.
+    cut = edge_cut(graph, parts)
+    assert 0 <= cut <= graph.edge_weights.sum() / 2 + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(k=st.integers(2, 4), seed=st.integers(0, 20))
+def test_metis_no_worse_than_random_on_structured_graphs(k, seed):
+    graph_csr = powerlaw_cluster_graph(150, 3, 0.5, seed=seed)
+    from repro.graph.builder import to_edge_list
+
+    src, dst = to_edge_list(graph_csr)
+    graph = WeightedGraph.from_edges(
+        src, dst, np.ones(src.size), graph_csr.n_nodes
+    )
+    metis_cut = edge_cut(graph, metis_partition(graph, k, seed=seed))
+    rng = np.random.default_rng(seed)
+    random_cut = edge_cut(graph, rng.integers(0, k, graph.n_nodes))
+    assert metis_cut <= random_cut * 1.05
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    n_seeds=st.integers(10, 60),
+    fanout=st.integers(2, 6),
+    budget_divisor=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(0, 50),
+)
+def test_scheduler_plans_always_cover_seeds(
+    n_seeds, fanout, budget_divisor, seed
+):
+    graph = powerlaw_cluster_graph(500, 4, 0.4, seed=seed % 5)
+    batch = sample_batch(
+        graph, np.arange(n_seeds), [fanout, fanout], rng=seed
+    )
+    blocks = generate_blocks_fast(batch)
+    spec = ModelSpec(16, 16, 4, 2, "mean")
+    probe = BuffaloScheduler(
+        spec, float("inf"), cutoff=fanout, clustering_coefficient=0.3
+    )
+    total = sum(probe.schedule(batch, blocks).estimated_bytes)
+    scheduler = BuffaloScheduler(
+        spec,
+        max(total / budget_divisor, 1.0),
+        cutoff=fanout,
+        clustering_coefficient=0.3,
+        k_max=256,
+    )
+    try:
+        plan = scheduler.schedule(batch, blocks)
+    except SchedulingError:
+        return  # a single node's cone exceeding the budget is legal
+    rows = np.sort(np.concatenate([g.rows for g in plan.groups]))
+    np.testing.assert_array_equal(rows, np.arange(n_seeds))
+    # Every group respects the constraint per the estimator.
+    for group in plan.groups:
+        assert group.estimated_bytes <= scheduler.memory_constraint * 1.0001
+
+
+# ----------------------------------------------------------------------
+# Footprints
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(
+        ["mean", "sum", "max", "pool", "lstm", "attention", "gcn"]
+    ),
+    n=st.integers(1, 200),
+    d=st.integers(1, 30),
+    f=st.integers(1, 128),
+    h=st.integers(1, 128),
+)
+def test_footprint_monotone_in_every_dimension(name, n, d, f, h):
+    base = aggregator_bucket_footprint(name, n, d, f, h)
+    assert base.activation_bytes >= 0
+    assert base.flops >= 0
+    bigger_n = aggregator_bucket_footprint(name, n + 10, d, f, h)
+    bigger_d = aggregator_bucket_footprint(name, n, d + 5, f, h)
+    assert bigger_n.activation_bytes >= base.activation_bytes
+    assert bigger_d.activation_bytes >= base.activation_bytes
+    assert bigger_n.flops >= base.flops
+    assert bigger_d.flops >= base.flops
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    counts=st.lists(st.integers(1, 50), min_size=1, max_size=8),
+    f=st.integers(4, 64),
+)
+def test_layer_footprint_additive_in_buckets(counts, f):
+    hist = {d + 1: c for d, c in enumerate(counts)}
+    whole = layer_footprint(hist, f, f, "lstm", f)
+    # Sum over singleton histograms + one combine for all rows must not
+    # exceed the whole (combine is superadditive in n_dst; aggregation
+    # is exactly additive).
+    agg_sum = sum(
+        aggregator_bucket_footprint("lstm", c, d, f, f).activation_bytes
+        for d, c in hist.items()
+    )
+    assert whole.activation_bytes >= agg_sum
+
+
+# ----------------------------------------------------------------------
+# Feature cache vs a reference LRU model
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    capacity=st.integers(1, 12),
+    requests=st.lists(
+        st.lists(st.integers(0, 20), min_size=1, max_size=10),
+        min_size=1,
+        max_size=12,
+    ),
+)
+def test_feature_cache_matches_reference_lru(capacity, requests):
+    feat = 64
+    device = SimulatedGPU(capacity_bytes=10**9)
+    cache = FeatureCache(device, feat, capacity_bytes=capacity * feat)
+
+    reference: list[int] = []  # most-recent last
+    expected_misses = 0
+    for batch in requests:
+        for node in batch:
+            if node in reference:
+                reference.remove(node)
+            else:
+                expected_misses += 1
+                if len(reference) >= capacity:
+                    reference.pop(0)
+            reference.append(node)
+        cache.load(np.array(batch))
+
+    assert cache.misses == expected_misses
+    assert cache.resident_rows == len(reference)
+    assert device.bytes_loaded == expected_misses * feat
