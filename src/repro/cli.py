@@ -4,7 +4,9 @@ Subcommands::
 
     python -m repro datasets                    # Table II-style stats
     python -m repro train --dataset ogbn_arxiv  # Buffalo training
+    python -m repro train --trace t.jsonl --metrics m.json  # + telemetry
     python -m repro schedule --dataset reddit   # inspect a plan
+    python -m repro trace summarize t.jsonl     # per-phase breakdown
     python -m repro experiment fig10            # regenerate a figure
     python -m repro experiment --list
 """
@@ -12,6 +14,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import importlib
 import sys
 from typing import Sequence
@@ -75,6 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--checkpoint", default=None)
     train.add_argument("--eval", action="store_true", dest="do_eval")
     train.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(train)
 
     schedule = sub.add_parser(
         "schedule", help="show Buffalo's plan for one batch"
@@ -87,6 +91,15 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--n-seeds", type=int, default=400)
     schedule.add_argument("--fanouts", default="10,25")
     schedule.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(schedule)
+
+    trace = sub.add_parser(
+        "trace", help="inspect a JSONL trace produced by --trace"
+    )
+    trace.add_argument(
+        "action", choices=["summarize"], help="what to do with the trace"
+    )
+    trace.add_argument("path", help="JSONL trace file")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -95,6 +108,65 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--list", action="store_true", dest="list_all")
 
     return parser
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write span events as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot as JSON to PATH",
+    )
+
+
+@contextlib.contextmanager
+def _observability(args, extra_payload: dict | None = None):
+    """Attach trace/metrics outputs for one command invocation.
+
+    The metrics registry is reset on entry (when any output is
+    requested) so the written snapshot covers exactly this run; the
+    sink is detached and the files are finalized on exit, even when the
+    command fails.  ``extra_payload`` entries holding callables are
+    evaluated at exit (e.g. estimator-accuracy telemetry that only
+    exists once training ran).
+    """
+    import json
+
+    from repro.obs import JsonlFileSink, get_metrics, get_tracer
+
+    tracer = get_tracer()
+    sink = None
+    if args.trace or args.metrics:
+        get_metrics().reset()
+    if args.trace:
+        try:
+            sink = tracer.add_sink(JsonlFileSink(args.trace))
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace to {args.trace}: {exc}")
+    try:
+        yield
+    finally:
+        if sink is not None:
+            tracer.remove_sink(sink)
+            sink.close()
+        if args.metrics:
+            payload = {"metrics": get_metrics().snapshot()}
+            for key, value in (extra_payload or {}).items():
+                payload[key] = value() if callable(value) else value
+            try:
+                with open(args.metrics, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            except OSError as exc:
+                raise SystemExit(
+                    f"cannot write metrics to {args.metrics}: {exc}"
+                )
 
 
 def _parse_fanouts(text: str) -> list[int]:
@@ -181,17 +253,26 @@ def _cmd_train(args) -> int:
         f"{args.dataset} under {args.budget_gb:.0f} GB-equivalent "
         f"({device.capacity / 2**20:.0f} MiB)"
     )
-    for result in loop.run(args.epochs):
-        val = (
-            f"  val_acc={result.val_accuracy:.3f}"
-            if result.val_accuracy is not None
-            else ""
-        )
-        print(
-            f"epoch {result.epoch}: loss={result.mean_loss:.4f}"
-            f"  batches={result.n_batches}"
-            f"  micro-batches={result.total_micro_batches}{val}"
-        )
+    with _observability(
+        args,
+        {"estimator_accuracy": lambda: trainer.telemetry.to_dict()},
+    ):
+        for result in loop.run(args.epochs):
+            val = (
+                f"  val_acc={result.val_accuracy:.3f}"
+                if result.val_accuracy is not None
+                else ""
+            )
+            print(
+                f"epoch {result.epoch}: loss={result.mean_loss:.4f}"
+                f"  batches={result.n_batches}"
+                f"  micro-batches={result.total_micro_batches}"
+                f"  wall={result.wall_s:.2f}s{val}"
+            )
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        print(f"metrics written to {args.metrics}")
     return 0
 
 
@@ -222,7 +303,8 @@ def _cmd_schedule(args) -> int:
         cutoff=fanouts[0],
         clustering_coefficient=clustering,
     )
-    plan = scheduler.schedule(prepared.batch, prepared.blocks)
+    with _observability(args):
+        plan = scheduler.schedule(prepared.batch, prepared.blocks)
     print(
         f"{args.dataset}: {prepared.batch.n_seeds} seeds -> K={plan.k} "
         f"bucket groups (budget {budget / 2**20:.0f} MiB, "
@@ -230,6 +312,26 @@ def _cmd_schedule(args) -> int:
     )
     for i, group in enumerate(plan.groups):
         print(f"  group {i}: {group}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        print(f"metrics written to {args.metrics}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.summarize import render_summary, summarize_file
+
+    if not Path(args.path).is_file():
+        raise SystemExit(f"no such trace file: {args.path}")
+    try:
+        summary = summarize_file(args.path)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{args.path} is not a JSONL trace: {exc}")
+    print(render_summary(summary, title=f"trace summary: {args.path}"))
     return 0
 
 
@@ -275,6 +377,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "train": _cmd_train,
         "schedule": _cmd_schedule,
+        "trace": _cmd_trace,
         "experiment": _cmd_experiment,
     }
     return handlers[args.command](args)

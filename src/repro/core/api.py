@@ -32,6 +32,9 @@ from repro.gnn.gcn import GCN
 from repro.gnn.sage import GraphSAGE
 from repro.graph.sampling import SampledBatch, sample_batch
 from repro.nn.optim import Adam, Optimizer
+from repro.obs.estimator import EstimatorTelemetry
+from repro.obs.metrics import SMALL_COUNT_BUCKETS, get_metrics
+from repro.obs.trace import get_tracer
 
 
 def build_model(spec: ModelSpec, *, rng: int = 0):
@@ -142,6 +145,7 @@ class BuffaloTrainer:
         self.trainer = MicroBatchTrainer(
             self.model, spec, self.optimizer, device
         )
+        self.telemetry = EstimatorTelemetry()
         self._iteration = 0
 
     # ------------------------------------------------------------------
@@ -156,19 +160,25 @@ class BuffaloTrainer:
         if seeds is None:
             seeds = self.dataset.train_nodes
 
-        with profiler.phase("sampling"):
+        with profiler.phase("sampling") as span:
             batch = sample_batch(
                 self.dataset.graph,
                 seeds,
                 self.fanouts,
                 rng=self.seed + self._iteration,
             )
-        with profiler.phase("block_generation"):
+            span.set_attrs(
+                {"n_seeds": batch.n_seeds, "n_layers": len(self.fanouts)}
+            )
+        with profiler.phase("block_generation") as span:
             blocks = generate_blocks_fast(batch)
-        with profiler.phase("buffalo_scheduling"):
+            span.set_attr("n_input", blocks[0].n_src)
+        with profiler.phase("buffalo_scheduling") as span:
             plan = self.scheduler.schedule(batch, blocks)
-        with profiler.phase("block_generation"):
+            span.set_attrs({"k": plan.k, "split": plan.split_applied})
+        with profiler.phase("block_generation") as span:
             micro_batches = generate_micro_batches(batch, plan)
+            span.set_attr("n_micro_batches", len(micro_batches))
         return batch, plan, micro_batches, profiler
 
     def run_iteration(
@@ -195,29 +205,45 @@ class BuffaloTrainer:
 
         cutoffs = list(reversed(self.fanouts))
         last_oom: DeviceOutOfMemoryError | None = None
+        tracer = get_tracer()
+        metrics = get_metrics()
         for attempt in range(max_oom_retries + 1):
-            try:
-                batch, plan, micro_batches, profiler = self.prepare(seeds)
-            except SchedulingError:
-                # A tightened constraint can become unschedulable; that
-                # is the same terminal condition as the OOM that caused
-                # the tightening.
-                if last_oom is not None:
-                    raise last_oom
-                raise
-            oom_info: tuple[int, int, int] | None = None
-            try:
-                result = self.trainer.train_iteration(
-                    self.dataset,
-                    batch.node_map,
-                    micro_batches,
-                    cutoffs,
-                    profiler=profiler,
-                )
-            except DeviceOutOfMemoryError as exc:
-                if attempt == max_oom_retries:
+            with tracer.span(
+                "buffalo.iteration",
+                {"iteration": self._iteration, "attempt": attempt},
+            ) as iter_span:
+                try:
+                    batch, plan, micro_batches, profiler = self.prepare(
+                        seeds
+                    )
+                except SchedulingError:
+                    # A tightened constraint can become unschedulable;
+                    # that is the same terminal condition as the OOM
+                    # that caused the tightening.
+                    if last_oom is not None:
+                        raise last_oom
                     raise
-                oom_info = (exc.requested, exc.live, exc.capacity)
+                oom_info: tuple[int, int, int] | None = None
+                try:
+                    result = self.trainer.train_iteration(
+                        self.dataset,
+                        batch.node_map,
+                        micro_batches,
+                        cutoffs,
+                        profiler=profiler,
+                    )
+                except DeviceOutOfMemoryError as exc:
+                    if attempt == max_oom_retries:
+                        raise
+                    oom_info = (exc.requested, exc.live, exc.capacity)
+                if oom_info is None:
+                    iter_span.set_attrs(
+                        {
+                            "k": plan.k,
+                            "loss": result.loss,
+                            "peak_bytes": result.peak_bytes,
+                        }
+                    )
             if oom_info is not None:
                 # Outside the except block the handled exception (and
                 # its traceback, which pins the failed iteration's
@@ -236,7 +262,28 @@ class BuffaloTrainer:
                     )
                     tightened = min(tightened, headroom)
                 self.scheduler.memory_constraint = max(tightened, 1.0)
+                metrics.counter(
+                    "buffalo.oom_retries",
+                    help="iterations re-planned after device OOM",
+                ).inc()
                 continue
+            metrics.counter(
+                "buffalo.iterations", help="completed training iterations"
+            ).inc()
+            metrics.histogram(
+                "buffalo.micro_batches_per_iter",
+                SMALL_COUNT_BUCKETS,
+                help="K (micro-batches) per iteration",
+            ).observe(plan.k)
+            metrics.gauge(
+                "buffalo.peak_mem_bytes",
+                help="device peak bytes of the last iteration",
+            ).set(result.peak_bytes)
+            self.telemetry.record_iteration(
+                self._iteration,
+                plan.estimated_bytes,
+                result.micro_batch_peaks,
+            )
             self._iteration += 1
             return IterationReport(
                 result=result,

@@ -24,6 +24,8 @@ from repro.gnn.block import Block
 from repro.gnn.block_gen import assemble_blocks
 from repro.graph.sampling import SampledBatch
 from repro.graph.subgraph import gather_rows
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 
 
 def generate_blocks_fast(
@@ -51,4 +53,24 @@ def generate_blocks_fast(
     def row_fn(frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return gather_rows(batch.graph, frontier)
 
-    return assemble_blocks(batch, seeds_local, row_fn, n_layers)
+    # The span gate is one attribute check when tracing is disabled,
+    # keeping the hot path clean; the counters are a few float adds.
+    with get_tracer().span("fastblock.generate") as span:
+        blocks = assemble_blocks(batch, seeds_local, row_fn, n_layers)
+        total_nodes = sum(b.n_src for b in blocks)
+        span.set_attrs(
+            {
+                "n_seeds": int(len(seeds_local)),
+                "n_layers": len(blocks),
+                "total_nodes": total_nodes,
+            }
+        )
+    metrics = get_metrics()
+    metrics.counter(
+        "buffalo.block_gen_calls", help="fast block-generation invocations"
+    ).inc()
+    metrics.counter(
+        "buffalo.block_gen_nodes",
+        help="total source nodes across generated blocks",
+    ).inc(total_nodes)
+    return blocks

@@ -18,6 +18,8 @@ from repro.core.grouping import BucketGroup
 from repro.core.scheduler import SchedulePlan
 from repro.gnn.block import Block
 from repro.graph.sampling import SampledBatch
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 
 
 @dataclass
@@ -61,12 +63,22 @@ def generate_micro_batches(
     output rows are directly the local seed ids to expand from.
     """
     micro_batches = []
-    for group in plan.groups:
-        rows = group.rows  # sorted ascending
-        blocks = generate_blocks_fast(batch, rows)
-        micro_batches.append(
-            MicroBatch(blocks=blocks, seed_rows=rows, group=group)
+    with get_tracer().span(
+        "micro_batch_generation", {"k": plan.k}
+    ) as span:
+        for group in plan.groups:
+            rows = group.rows  # sorted ascending
+            blocks = generate_blocks_fast(batch, rows)
+            micro_batches.append(
+                MicroBatch(blocks=blocks, seed_rows=rows, group=group)
+            )
+        span.set_attr(
+            "total_inputs", sum(mb.n_input for mb in micro_batches)
         )
+    get_metrics().counter(
+        "buffalo.micro_batches_generated",
+        help="micro-batches materialized from bucket groups",
+    ).inc(len(micro_batches))
     return micro_batches
 
 

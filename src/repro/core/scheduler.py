@@ -21,6 +21,8 @@ from repro.gnn.block import Block
 from repro.gnn.bucketing import Bucket, bucketize_degrees, detect_explosion
 from repro.gnn.footprint import ModelSpec
 from repro.graph.sampling import SampledBatch
+from repro.obs.metrics import SMALL_COUNT_BUCKETS, get_metrics
+from repro.obs.trace import get_tracer
 
 
 @dataclass
@@ -98,9 +100,21 @@ class BuffaloScheduler:
         """
         from repro.core.estimator import redundancy_group_estimate
 
-        base_buckets = bucketize_degrees(blocks[-1].degrees, self.cutoff)
-        estimator = BucketMemEstimator(blocks, self.model, self.clustering)
-        explosion = detect_explosion(base_buckets, self.cutoff)
+        tracer = get_tracer()
+        with tracer.span("schedule.bucketize") as span:
+            base_buckets = bucketize_degrees(
+                blocks[-1].degrees, self.cutoff
+            )
+            estimator = BucketMemEstimator(
+                blocks, self.model, self.clustering
+            )
+            explosion = detect_explosion(base_buckets, self.cutoff)
+            span.set_attrs(
+                {
+                    "n_buckets": len(base_buckets),
+                    "explosion": explosion is not None,
+                }
+            )
 
         # Fast-path: everything fits in one group (Algorithm 3's K = 1
         # special case — the original subgraph is the micro-batch).
@@ -112,12 +126,14 @@ class BuffaloScheduler:
                 base_buckets, 1, self.memory_constraint, estimator
             )
             if success:
-                return SchedulePlan(
-                    groups=groups,
-                    k=1,
-                    split_applied=False,
-                    buckets=base_buckets,
-                    estimator=estimator,
+                return self._finish_plan(
+                    SchedulePlan(
+                        groups=groups,
+                        k=1,
+                        split_applied=False,
+                        buckets=base_buckets,
+                        estimator=estimator,
+                    )
                 )
 
         # Split once, K-independently: the explosion bucket (and any
@@ -134,48 +150,76 @@ class BuffaloScheduler:
             else 1.0
         )
         threshold = granularity * self.memory_constraint
-        buckets, split_applied = self._split_oversize(
-            base_buckets, estimator, threshold
-        )
-        if explosion is not None and not split_applied:
-            # Tight corner: the explosion bucket fits the threshold but
-            # K > 1 is needed; Algorithm 3 still splits it for balance.
-            buckets = [b for b in base_buckets if b is not explosion]
-            buckets.extend(split_explosion_bucket(explosion, 2))
-            split_applied = True
+        with tracer.span("schedule.split") as span:
+            buckets, split_applied = self._split_oversize(
+                base_buckets, estimator, threshold
+            )
+            if explosion is not None and not split_applied:
+                # Tight corner: the explosion bucket fits the threshold
+                # but K > 1 is needed; Algorithm 3 still splits it for
+                # balance.
+                buckets = [b for b in base_buckets if b is not explosion]
+                buckets.extend(split_explosion_bucket(explosion, 2))
+                split_applied = True
+            span.set_attrs(
+                {"n_buckets": len(buckets), "split": split_applied}
+            )
 
         # Lower bound: any K-way grouping's largest group is at least
         # the discounted total divided by K.
         k = max(2, int(discounted_total / self.memory_constraint))
-        while k <= self.k_max:
-            success, groups = mem_balanced_grouping(
-                buckets, k, self.memory_constraint, estimator
-            )
-            if success:
-                if 1 < len(groups) <= 32:
-                    groups = refine_balance(groups, estimator)
-                return SchedulePlan(
-                    groups=groups,
-                    k=len(groups),
-                    split_applied=split_applied,
-                    buckets=buckets,
-                    estimator=estimator,
+        with tracer.span("schedule.k_search") as span:
+            attempts = 0
+            while k <= self.k_max:
+                attempts += 1
+                success, groups = mem_balanced_grouping(
+                    buckets, k, self.memory_constraint, estimator
                 )
-            # Adaptive step: when the worst group overflows the budget
-            # by ratio r, at least ~r-times more groups are needed.
-            overflow = max(g.estimated_bytes for g in groups) / (
-                self.memory_constraint
-            )
-            lower_bound = int(
-                sum(g.estimated_bytes for g in groups)
-                / self.memory_constraint
-            )
-            k = max(k + 1, int(k * min(overflow, 1.5)), lower_bound)
+                if success:
+                    if 1 < len(groups) <= 32:
+                        groups = refine_balance(groups, estimator)
+                    span.set_attrs(
+                        {"attempts": attempts, "k": len(groups)}
+                    )
+                    return self._finish_plan(
+                        SchedulePlan(
+                            groups=groups,
+                            k=len(groups),
+                            split_applied=split_applied,
+                            buckets=buckets,
+                            estimator=estimator,
+                        )
+                    )
+                # Adaptive step: when the worst group overflows the
+                # budget by ratio r, at least ~r-times more groups are
+                # needed.
+                overflow = max(g.estimated_bytes for g in groups) / (
+                    self.memory_constraint
+                )
+                lower_bound = int(
+                    sum(g.estimated_bytes for g in groups)
+                    / self.memory_constraint
+                )
+                k = max(k + 1, int(k * min(overflow, 1.5)), lower_bound)
+            span.set_attr("attempts", attempts)
 
         raise SchedulingError(
             f"no feasible schedule within k_max={self.k_max} groups for "
             f"memory constraint {self.memory_constraint / 2**30:.2f} GiB"
         )
+
+    def _finish_plan(self, plan: SchedulePlan) -> SchedulePlan:
+        """Record schedule-level metrics before handing the plan out."""
+        metrics = get_metrics()
+        metrics.counter(
+            "buffalo.schedules", help="successful scheduler runs"
+        ).inc()
+        metrics.histogram(
+            "buffalo.groups_per_schedule",
+            SMALL_COUNT_BUCKETS,
+            help="bucket groups (K) per successful schedule",
+        ).observe(plan.k)
+        return plan
 
     def _split_oversize(
         self,

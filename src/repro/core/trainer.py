@@ -32,6 +32,7 @@ from repro.gnn.footprint import (
 )
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
+from repro.obs.trace import get_tracer
 from repro.tensor.functional import cross_entropy_with_logits
 from repro.tensor.tensor import Tensor
 
@@ -138,28 +139,42 @@ class MicroBatchTrainer:
         loss_sum = 0.0
         micro_batch_peaks: list[int] = []
         iteration_peak = 0
-        for mb in micro_batches:
+        tracer = get_tracer()
+        for index, mb in enumerate(micro_batches):
             if self.device is not None:
                 self.device.reset_peak()
-            input_feats = self._load_features(
-                dataset, node_map, mb.blocks[0], profiler
-            )
-            with profiler.phase("forward_backward_wall"):
-                logits = self.model(mb.blocks, input_feats, cutoffs)
-                labels = dataset.labels[
-                    node_map[mb.blocks[-1].dst_nodes]
-                ]
-                partial = cross_entropy_with_logits(
-                    logits, labels, reduction="sum"
-                ) * (1.0 / total_outputs)
-                partial.backward()
-                loss_sum += partial.item()
-            self._simulate_compute(mb.blocks, profiler)
-            if self.device is not None:
-                micro_batch_peaks.append(self.device.peak_bytes)
-                iteration_peak = max(
-                    iteration_peak, self.device.peak_bytes
+            # Only documented protocol fields (blocks + seed_rows) are
+            # touched here, so duck-typed micro-batches keep working.
+            with tracer.span(
+                "train.micro_batch",
+                {
+                    "index": index,
+                    "n_output": int(len(mb.seed_rows)),
+                    "n_input": int(mb.blocks[0].n_src),
+                },
+            ) as mb_span:
+                input_feats = self._load_features(
+                    dataset, node_map, mb.blocks[0], profiler
                 )
+                with profiler.phase("forward_backward_wall"):
+                    logits = self.model(mb.blocks, input_feats, cutoffs)
+                    labels = dataset.labels[
+                        node_map[mb.blocks[-1].dst_nodes]
+                    ]
+                    partial = cross_entropy_with_logits(
+                        logits, labels, reduction="sum"
+                    ) * (1.0 / total_outputs)
+                    partial.backward()
+                    loss_sum += partial.item()
+                self._simulate_compute(mb.blocks, profiler)
+                if self.device is not None:
+                    micro_batch_peaks.append(self.device.peak_bytes)
+                    iteration_peak = max(
+                        iteration_peak, self.device.peak_bytes
+                    )
+                    mb_span.set_attr(
+                        "peak_bytes", self.device.peak_bytes
+                    )
             # Release the autograd graph (activations) before the next
             # micro-batch — the point of output-layer partitioning.
             del logits, partial, input_feats

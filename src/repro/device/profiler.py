@@ -5,6 +5,21 @@ partitioning / REG construction / connection check / block construction
 (all CPU, measured here with real clocks) plus data loading and GPU
 compute (simulated by the cost model).  The report labels each entry with
 its clock kind so results stay honest about what was measured vs modeled.
+
+The profiler is wired into the :mod:`repro.obs` tracing backbone in both
+directions:
+
+* **producer** — :meth:`Profiler.phase` opens a ``kind="phase"`` span
+  and :meth:`Profiler.add_sim` emits a ``sim`` point event on the
+  process tracer, so every profiled phase lands in ``--trace`` output
+  (a no-op when no sink is attached);
+* **consumer** — :meth:`Profiler.consume` folds those same events back
+  into per-phase records, which is how ``repro trace summarize``
+  reconstructs a breakdown from a JSONL file.  The Fig. 5/11 benchmarks
+  keep using the accumulate-in-process path unchanged.
+
+Determinism: :meth:`breakdown` and :meth:`merge` keep phases in sorted
+name order, so reports and trace summaries are byte-stable across runs.
 """
 
 from __future__ import annotations
@@ -12,6 +27,12 @@ from __future__ import annotations
 import contextlib
 import time
 from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.trace import get_tracer
+
+#: Event name used for simulated-clock contributions in traces.
+SIM_EVENT = "sim"
 
 
 @dataclass
@@ -37,12 +58,22 @@ class Profiler:
         return self.phases.setdefault(name, PhaseRecord())
 
     @contextlib.contextmanager
-    def phase(self, name: str):
-        """Context manager measuring wall-clock time into ``name``."""
+    def phase(self, name: str, attrs: dict | None = None):
+        """Context manager measuring wall-clock time into ``name``.
+
+        Yields the trace span (a shared no-op object when tracing is
+        disabled), so callers may attach attributes::
+
+            with profiler.phase("sampling") as span:
+                ...
+                span.set_attr("n_seeds", batch.n_seeds)
+        """
         record = self._record(name)
+        span = get_tracer().span(name, attrs, kind="phase")
         start = time.perf_counter()
         try:
-            yield record
+            with span:
+                yield span
         finally:
             record.wall_s += time.perf_counter() - start
             record.count += 1
@@ -52,19 +83,64 @@ class Profiler:
         record = self._record(name)
         record.sim_s += seconds
         record.count += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(SIM_EVENT, {"phase": name, "sim_s": seconds})
 
+    # ------------------------------------------------------------------
+    # Span-event consumption (repro.obs)
+    # ------------------------------------------------------------------
+    def consume(self, event: dict) -> None:
+        """Fold one trace event into the phase table.
+
+        Recognizes ``kind="phase"`` span events (wall time) and ``sim``
+        point events (simulated time); everything else is ignored.
+        """
+        if not isinstance(event, dict):
+            return
+        if event.get("type") == "span" and event.get("kind") == "phase":
+            record = self._record(event["name"])
+            record.wall_s += float(event.get("duration_s", 0.0))
+            record.count += 1
+        elif event.get("type") == "event" and event.get("name") == SIM_EVENT:
+            attrs = event.get("attrs") or {}
+            phase = attrs.get("phase")
+            if phase:
+                record = self._record(str(phase))
+                record.sim_s += float(attrs.get("sim_s", 0.0))
+                record.count += 1
+
+    @classmethod
+    def from_events(cls, events: Iterable[dict]) -> "Profiler":
+        """Rebuild a profiler from a trace-event stream."""
+        profiler = cls()
+        for event in events:
+            profiler.consume(event)
+        profiler._sort_phases()
+        return profiler
+
+    # ------------------------------------------------------------------
     def total_s(self) -> float:
         """End-to-end time across all phases."""
         return sum(r.total_s for r in self.phases.values())
 
     def breakdown(self) -> dict[str, float]:
-        """Phase name -> total seconds (wall + simulated)."""
-        return {name: r.total_s for name, r in self.phases.items()}
+        """Phase name -> total seconds (wall + simulated), sorted by name."""
+        return {
+            name: self.phases[name].total_s
+            for name in sorted(self.phases)
+        }
+
+    def _sort_phases(self) -> None:
+        self.phases = {
+            name: self.phases[name] for name in sorted(self.phases)
+        }
 
     def merge(self, other: "Profiler") -> None:
-        """Fold another profiler's phases into this one."""
+        """Fold another profiler's phases into this one (sorted order)."""
         for name, record in other.phases.items():
             mine = self._record(name)
             mine.wall_s += record.wall_s
             mine.sim_s += record.sim_s
             mine.count += record.count
+        self._sort_phases()

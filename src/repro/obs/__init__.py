@@ -1,0 +1,58 @@
+"""``repro.obs`` — observability for the Buffalo pipeline.
+
+Three pillars (ISSUE 1):
+
+* :mod:`repro.obs.trace` — nested spans as JSONL events, no-op when no
+  sink is attached;
+* :mod:`repro.obs.metrics` — process-wide counters / gauges /
+  fixed-bucket histograms with a deterministic snapshot;
+* :mod:`repro.obs.estimator` — live predicted-vs-actual peak-memory
+  telemetry per scheduled bucket group (paper Table III).
+
+See ``docs/observability.md`` for the worked tour.
+"""
+
+from repro.obs.estimator import EstimatorTelemetry, GroupMemSample
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    ESTIMATOR_ERROR_BUCKETS,
+    SMALL_COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.schema import SchemaError, validate_event, validate_trace_file
+from repro.obs.trace import (
+    JsonlFileSink,
+    ListSink,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "Counter",
+    "ESTIMATOR_ERROR_BUCKETS",
+    "EstimatorTelemetry",
+    "Gauge",
+    "GroupMemSample",
+    "Histogram",
+    "JsonlFileSink",
+    "ListSink",
+    "MetricsRegistry",
+    "SMALL_COUNT_BUCKETS",
+    "SchemaError",
+    "Span",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "set_metrics",
+    "set_tracer",
+    "validate_event",
+    "validate_trace_file",
+]

@@ -1,0 +1,151 @@
+"""Estimator-accuracy telemetry (paper Table III, live).
+
+Every scheduled bucket group carries the Eq. 1–2 memory prediction
+(:attr:`BucketGroup.estimated_bytes`); the simulated device reports the
+group's concrete peak while its micro-batch trains.  Pairing the two per
+group turns the paper's one-off estimator-accuracy benchmark into a live
+signal: a signed relative-error histogram in the metrics registry plus a
+bounded ring of raw samples for offline analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    ESTIMATOR_ERROR_BUCKETS,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.obs.trace import get_tracer
+
+__all__ = ["GroupMemSample", "EstimatorTelemetry"]
+
+REL_ERROR_METRIC = "buffalo.estimator_rel_error"
+PREDICTED_METRIC = "buffalo.estimator_predicted_bytes"
+ACTUAL_METRIC = "buffalo.estimator_actual_bytes"
+
+
+@dataclass(frozen=True)
+class GroupMemSample:
+    """Predicted vs. actual peak memory of one bucket group."""
+
+    iteration: int
+    group_index: int
+    predicted_bytes: float
+    actual_bytes: float
+
+    @property
+    def rel_error(self) -> float:
+        """Signed (predicted - actual) / actual; 0 when actual is 0."""
+        if self.actual_bytes <= 0:
+            return 0.0
+        return (self.predicted_bytes - self.actual_bytes) / self.actual_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "group_index": self.group_index,
+            "predicted_bytes": self.predicted_bytes,
+            "actual_bytes": self.actual_bytes,
+            "rel_error": self.rel_error,
+        }
+
+
+class EstimatorTelemetry:
+    """Accumulates per-group predicted-vs-actual memory samples.
+
+    Args:
+        registry: metrics registry fed by each sample (defaults to the
+            process-wide one).
+        max_samples: raw-sample ring size; the histogram keeps full
+            counts regardless.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        max_samples: int = 4096,
+    ) -> None:
+        self.registry = registry if registry is not None else get_metrics()
+        self.max_samples = int(max_samples)
+        self.samples: list[GroupMemSample] = []
+        self._n_recorded = 0
+
+    # ------------------------------------------------------------------
+    def record_iteration(
+        self,
+        iteration: int,
+        predicted_bytes: list[float],
+        actual_bytes: list[int],
+    ) -> list[GroupMemSample]:
+        """Record one iteration's groups; lists are index-aligned.
+
+        ``actual_bytes`` may be empty (training without a device), in
+        which case nothing is recorded.
+        """
+        if not actual_bytes:
+            return []
+        rel_hist = self.registry.histogram(
+            REL_ERROR_METRIC,
+            ESTIMATOR_ERROR_BUCKETS,
+            help="signed (predicted - actual) / actual per bucket group",
+        )
+        pred_hist = self.registry.histogram(
+            PREDICTED_METRIC, BYTE_BUCKETS,
+            help="Eq. 2 predicted peak bytes per bucket group",
+        )
+        act_hist = self.registry.histogram(
+            ACTUAL_METRIC, BYTE_BUCKETS,
+            help="simulated-device peak bytes per bucket group",
+        )
+        tracer = get_tracer()
+        recorded = []
+        for index, (predicted, actual) in enumerate(
+            zip(predicted_bytes, actual_bytes)
+        ):
+            sample = GroupMemSample(
+                iteration=iteration,
+                group_index=index,
+                predicted_bytes=float(predicted),
+                actual_bytes=float(actual),
+            )
+            recorded.append(sample)
+            rel_hist.observe(sample.rel_error)
+            pred_hist.observe(sample.predicted_bytes)
+            act_hist.observe(sample.actual_bytes)
+            if tracer.enabled:
+                tracer.event(
+                    "estimator.group_memory", sample.to_dict()
+                )
+        self._n_recorded += len(recorded)
+        self.samples.extend(recorded)
+        if len(self.samples) > self.max_samples:
+            del self.samples[: len(self.samples) - self.max_samples]
+        return recorded
+
+    # ------------------------------------------------------------------
+    @property
+    def n_recorded(self) -> int:
+        return self._n_recorded
+
+    def mean_abs_rel_error(self) -> float:
+        """Mean |rel error| over retained samples (Table III's metric)."""
+        if not self.samples:
+            return 0.0
+        return sum(abs(s.rel_error) for s in self.samples) / len(
+            self.samples
+        )
+
+    def to_dict(self) -> dict:
+        hist = self.registry.get(REL_ERROR_METRIC)
+        return {
+            "n_recorded": self._n_recorded,
+            "mean_abs_rel_error": self.mean_abs_rel_error(),
+            "rel_error_histogram": (
+                hist.to_dict() if hist is not None else None
+            ),
+            "samples": [s.to_dict() for s in self.samples],
+        }

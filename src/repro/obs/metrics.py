@@ -1,0 +1,260 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+Instruments are cheap enough to stay always-on (a counter increment is a
+couple of float ops), unlike spans which gate on an attached sink.  The
+registry snapshot is deterministic — instruments and histogram buckets
+serialize in sorted order — so metrics files are byte-stable across runs
+with identical workloads.
+
+Naming convention: dotted lowercase, ``buffalo.`` prefix for pipeline
+metrics (e.g. ``buffalo.micro_batches_per_iter``,
+``buffalo.groups_per_schedule``, ``buffalo.block_gen_nodes``,
+``buffalo.peak_mem_bytes``, ``buffalo.estimator_rel_error``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "ESTIMATOR_ERROR_BUCKETS",
+    "SMALL_COUNT_BUCKETS",
+    "BYTE_BUCKETS",
+]
+
+# Relative-error buckets for the Table III estimator-accuracy histogram:
+# signed (predicted - actual) / actual, clamped into these edges.
+ESTIMATOR_ERROR_BUCKETS = (
+    -0.5, -0.25, -0.1, -0.05, -0.02,
+    0.0, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0,
+)
+
+# Micro-batch / group counts per iteration (K rarely exceeds 128).
+SMALL_COUNT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+# Byte sizes from 1 KiB to 64 GiB in power-of-4 steps.
+BYTE_BUCKETS = tuple(float(4**i * 1024) for i in range(13))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Last-set value (e.g. current peak memory)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-free per-bucket counts.
+
+    ``buckets`` are strictly increasing upper bounds; an implicit
+    ``+inf`` bucket catches overflow.  An observation lands in the first
+    bucket whose upper bound is ``>=`` the value.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "_sum", "_count",
+                 "_min", "_max")
+
+    def __init__(
+        self, name: str, buckets: tuple[float, ...], help: str = ""
+    ) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ReproError(f"histogram {name} needs at least one bucket")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ReproError(
+                f"histogram {name} buckets must be strictly increasing: "
+                f"{edges}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:  # first edge >= value
+            mid = (lo + hi) // 2
+            if self.buckets[mid] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self._sum += value
+        self._count += 1
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "min": None if self._count == 0 else self._min,
+            "max": None if self._count == 0 else self._max,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with idempotent creation and JSON export."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ReproError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(
+            name, lambda: Counter(name, help), Counter
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = SMALL_COUNT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets, help), Histogram
+        )
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Deterministic name -> serialized-instrument mapping."""
+        return {
+            name: self._instruments[name].to_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Zero every instrument (keeps registrations)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument registration."""
+        self._instruments.clear()
+
+
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (tests); returns the previous one."""
+    global _METRICS
+    previous = _METRICS
+    _METRICS = registry
+    return previous

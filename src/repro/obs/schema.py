@@ -1,0 +1,100 @@
+"""Trace-event schema: the contract between emitters and consumers.
+
+Every line of a ``--trace`` JSONL file must validate against this
+schema; the CI smoke test (``tests/obs/test_smoke_trace.py``) enforces
+it end-to-end so emitter drift is caught before a consumer breaks.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+
+from repro.errors import ReproError
+
+__all__ = ["SchemaError", "validate_event", "validate_trace_file"]
+
+EVENT_TYPES = frozenset({"span", "event"})
+
+# field name -> (required, type-check predicate, description)
+_NUMBER = lambda v: isinstance(v, numbers.Real) and not isinstance(v, bool)
+_FIELDS = {
+    "v": (True, lambda v: v == 1, "schema version 1"),
+    "type": (True, lambda v: v in EVENT_TYPES, "span|event"),
+    "name": (
+        True,
+        lambda v: isinstance(v, str) and len(v) > 0,
+        "non-empty string",
+    ),
+    "kind": (True, lambda v: isinstance(v, str), "string"),
+    "span_id": (
+        True,
+        lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+        "non-negative int",
+    ),
+    "parent_id": (
+        True,
+        lambda v: v is None
+        or (isinstance(v, int) and not isinstance(v, bool) and v >= 0),
+        "null or non-negative int",
+    ),
+    "ts": (True, _NUMBER, "unix seconds"),
+    "duration_s": (
+        True,
+        lambda v: _NUMBER(v) and v >= 0,
+        "non-negative seconds",
+    ),
+    "attrs": (True, lambda v: isinstance(v, dict), "object"),
+}
+
+
+class SchemaError(ReproError):
+    """A trace event violates the schema."""
+
+
+def validate_event(event: object) -> list[str]:
+    """Return schema violations of one event (empty list = valid)."""
+    if not isinstance(event, dict):
+        return [f"event must be an object, got {type(event).__name__}"]
+    errors = []
+    for field, (required, check, description) in _FIELDS.items():
+        if field not in event:
+            if required:
+                errors.append(f"missing field {field!r} ({description})")
+            continue
+        if not check(event[field]):
+            errors.append(
+                f"field {field!r} invalid: {event[field]!r} "
+                f"(expected {description})"
+            )
+    for field in event:
+        if field not in _FIELDS:
+            errors.append(f"unknown field {field!r}")
+    return errors
+
+
+def validate_trace_file(path: str) -> int:
+    """Validate every line of a JSONL trace; returns the event count.
+
+    Raises:
+        SchemaError: on the first malformed line or invalid event.
+    """
+    count = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            errors = validate_event(event)
+            if errors:
+                raise SchemaError(
+                    f"{path}:{lineno}: invalid event: {'; '.join(errors)}"
+                )
+            count += 1
+    return count

@@ -1,0 +1,100 @@
+"""Trace summarization: JSONL span events -> per-phase breakdown.
+
+The summarizer feeds span events back through
+:meth:`repro.device.profiler.Profiler.consume`, so the table printed by
+``repro trace summarize`` is exactly the breakdown the live profiler
+would have produced — one code path for both online (Fig. 5/11
+benchmarks) and offline (trace file) analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.device.profiler import Profiler
+from repro.obs.trace import read_jsonl
+
+__all__ = ["TraceSummary", "summarize_events", "summarize_file",
+           "render_summary"]
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one trace file."""
+
+    n_events: int = 0
+    n_spans: int = 0
+    profiler: Profiler = field(default_factory=Profiler)
+    span_totals: dict[str, tuple[int, float]] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return self.profiler.total_s()
+
+
+def summarize_events(events: Iterable[dict]) -> TraceSummary:
+    """Fold an event stream into per-phase and per-span aggregates."""
+    summary = TraceSummary()
+    totals: dict[str, list[float]] = {}
+    for event in events:
+        summary.n_events += 1
+        summary.profiler.consume(event)
+        if event.get("type") != "span":
+            continue
+        summary.n_spans += 1
+        if event.get("kind") == "phase":
+            continue  # already in the profiler's phase table
+        entry = totals.setdefault(event["name"], [0, 0.0])
+        entry[0] += 1
+        entry[1] += float(event.get("duration_s", 0.0))
+    summary.span_totals = {
+        name: (int(count), total)
+        for name, (count, total) in sorted(totals.items())
+    }
+    return summary
+
+
+def summarize_file(path: str) -> TraceSummary:
+    return summarize_events(read_jsonl(path))
+
+
+def render_summary(summary: TraceSummary, *, title: str = "") -> str:
+    """Render the per-phase table (Fig. 11 phase names) plus span totals."""
+    from repro.bench.reporting import format_table
+
+    breakdown = summary.profiler.breakdown()
+    total = sum(breakdown.values()) or 1.0
+    rows = []
+    for name in sorted(breakdown):
+        record = summary.profiler.phases[name]
+        rows.append(
+            [
+                name,
+                record.count,
+                f"{record.wall_s:.6f}",
+                f"{record.sim_s:.6f}",
+                f"{record.total_s:.6f}",
+                f"{100.0 * record.total_s / total:.1f}%",
+            ]
+        )
+    phase_table = format_table(
+        ["phase", "count", "wall_s", "sim_s", "total_s", "share"],
+        rows,
+        title=title or (
+            f"per-phase breakdown ({summary.n_events} events, "
+            f"{summary.n_spans} spans)"
+        ),
+    )
+    if not summary.span_totals:
+        return phase_table
+    span_rows = [
+        [name, count, f"{total_s:.6f}"]
+        for name, (count, total_s) in summary.span_totals.items()
+    ]
+    span_table = format_table(
+        ["span", "count", "total_s"],
+        span_rows,
+        title="non-phase spans",
+    )
+    return phase_table + "\n\n" + span_table

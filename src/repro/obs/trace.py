@@ -1,0 +1,341 @@
+"""Structured tracing: nested spans emitted as JSONL events.
+
+The tracer is the single instrumentation backbone of the pipeline.
+Every Buffalo phase (sampling, block generation, scheduling, micro-batch
+materialization, training) opens a span; spans nest via an explicit
+stack, carry free-form attributes, and are emitted to pluggable sinks as
+one JSON object per line when they close.
+
+Design constraints (ISSUE 1):
+
+* **Near-zero overhead when disabled.**  With no sink attached,
+  :meth:`Tracer.span` returns one shared no-op context manager — no
+  allocation, no clock reads, no dict building.  The hot block-generation
+  path pays a single attribute check.
+* **Pluggable sinks.**  Anything with ``emit(event: dict)`` works:
+  :class:`JsonlFileSink` for files, :class:`ListSink` for tests and
+  in-process consumers (the refactored
+  :class:`~repro.device.profiler.Profiler` consumes these events to
+  build its per-phase breakdown).
+
+Event wire format (see :mod:`repro.obs.schema` for the validator)::
+
+    {"v": 1, "type": "span", "name": "sampling", "span_id": 3,
+     "parent_id": 1, "ts": 1722950000.123, "duration_s": 0.004,
+     "kind": "phase", "attrs": {"n_seeds": 256}}
+
+Point events (``"type": "event"``) mark instants — e.g. simulated
+GPU/loading time contributions that have no wall-clock extent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import Any, Callable, Iterable, Protocol
+
+EVENT_VERSION = 1
+
+__all__ = [
+    "EVENT_VERSION",
+    "Span",
+    "Sink",
+    "JsonlFileSink",
+    "ListSink",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+]
+
+
+class Sink(Protocol):
+    """Destination for trace events."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class ListSink:
+    """Collects events in memory (tests, in-process consumers)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlFileSink:
+    """Appends one compact JSON object per event to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, separators=(",", ":")))
+        self._fh.write("\n")
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class CallbackSink:
+    """Adapts a plain callable into a sink."""
+
+    def __init__(self, fn: Callable[[dict], None]) -> None:
+        self._fn = fn
+
+    def emit(self, event: dict) -> None:
+        self._fn(event)
+
+    def close(self) -> None:
+        pass
+
+
+class Span:
+    """One live span; also its own context manager.
+
+    Created by :meth:`Tracer.span` — not directly.  Attributes set via
+    :meth:`set_attr` (or the ``attrs`` argument) travel with the emitted
+    event.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "ts",
+        "duration_s",
+        "_tracer",
+        "_start",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        kind: str,
+        attrs: dict[str, Any] | None,
+        span_id: int,
+        parent_id: int | None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.kind = kind
+        self.attrs = dict(attrs) if attrs else {}
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.ts = 0.0
+        self.duration_s = 0.0
+        self._start = 0.0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def set_attrs(self, attrs: dict[str, Any]) -> None:
+        self.attrs.update(attrs)
+
+    @property
+    def recording(self) -> bool:
+        return True
+
+    def __enter__(self) -> "Span":
+        self.ts = time.time()
+        self._start = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_s = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+
+    def to_event(self) -> dict:
+        return {
+            "v": EVENT_VERSION,
+            "type": "span",
+            "name": self.name,
+            "kind": self.kind,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts": self.ts,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when no sink is attached."""
+
+    __slots__ = ()
+
+    name = ""
+    kind = "noop"
+    span_id = -1
+    parent_id = None
+    ts = 0.0
+    duration_s = 0.0
+    attrs: dict[str, Any] = {}
+    recording = False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attrs(self, attrs: dict[str, Any]) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Produces nested spans and fans events out to sinks.
+
+    The span stack is thread-local so concurrent pipelines (e.g. the
+    data-parallel trainer) nest correctly within their own thread.
+    """
+
+    def __init__(self) -> None:
+        self._sinks: list[Sink] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- sink management ----------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return bool(self._sinks)
+
+    def add_sink(self, sink: Sink) -> Sink:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def clear_sinks(self) -> None:
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+        self._sinks = []
+
+    # -- span stack ---------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit — drop up to the span
+            del stack[stack.index(span):]
+        self._emit(span.to_event())
+
+    def current_span(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- event production ---------------------------------------------
+    def span(
+        self,
+        name: str,
+        attrs: dict[str, Any] | None = None,
+        *,
+        kind: str = "span",
+    ) -> Span | _NoopSpan:
+        """Open a span context manager (no-op fast path when disabled)."""
+        if not self._sinks:
+            return NOOP_SPAN
+        parent = self.current_span()
+        return Span(
+            self,
+            name,
+            kind,
+            attrs,
+            span_id=next(self._ids),
+            parent_id=None if parent is None else parent.span_id,
+        )
+
+    def event(
+        self, name: str, attrs: dict[str, Any] | None = None
+    ) -> None:
+        """Emit a point-in-time event attached to the current span."""
+        if not self._sinks:
+            return
+        parent = self.current_span()
+        self._emit(
+            {
+                "v": EVENT_VERSION,
+                "type": "event",
+                "name": name,
+                "kind": "point",
+                "span_id": next(self._ids),
+                "parent_id": None if parent is None else parent.span_id,
+                "ts": time.time(),
+                "duration_s": 0.0,
+                "attrs": dict(attrs) if attrs else {},
+            }
+        )
+
+    def _emit(self, event: dict) -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def flush(self) -> None:
+        for sink in self._sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled until a sink is attached)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer (tests); returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def read_jsonl(path: str) -> Iterable[dict]:
+    """Yield events from a JSONL trace file."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

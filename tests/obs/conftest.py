@@ -1,0 +1,30 @@
+"""Fixtures isolating the process-wide tracer/metrics per test."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.trace import ListSink, Tracer, set_tracer
+
+
+@pytest.fixture
+def tracer():
+    """Fresh process tracer, restored after the test."""
+    fresh = Tracer()
+    previous = set_tracer(fresh)
+    yield fresh
+    set_tracer(previous)
+
+
+@pytest.fixture
+def sink(tracer):
+    """A ListSink attached to the fresh tracer."""
+    return tracer.add_sink(ListSink())
+
+
+@pytest.fixture
+def registry():
+    """Fresh process metrics registry, restored after the test."""
+    fresh = MetricsRegistry()
+    previous = set_metrics(fresh)
+    yield fresh
+    set_metrics(previous)

@@ -1,0 +1,106 @@
+"""Estimator telemetry: predicted vs. actual peak memory per bucket group."""
+
+import pytest
+
+from repro.config import MiB
+from repro.core import BuffaloTrainer
+from repro.datasets import load
+from repro.device import SimulatedGPU
+from repro.gnn.footprint import ModelSpec
+from repro.obs.estimator import (
+    ACTUAL_METRIC,
+    PREDICTED_METRIC,
+    REL_ERROR_METRIC,
+    EstimatorTelemetry,
+    GroupMemSample,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestGroupMemSample:
+    def test_rel_error_signed(self):
+        over = GroupMemSample(0, 0, predicted_bytes=150, actual_bytes=100)
+        under = GroupMemSample(0, 1, predicted_bytes=50, actual_bytes=100)
+        assert over.rel_error == pytest.approx(0.5)
+        assert under.rel_error == pytest.approx(-0.5)
+
+    def test_zero_actual_is_not_a_division_error(self):
+        sample = GroupMemSample(0, 0, predicted_bytes=10, actual_bytes=0)
+        assert sample.rel_error == 0.0
+
+
+class TestRecording:
+    def test_feeds_histograms_and_ring(self):
+        registry = MetricsRegistry()
+        telemetry = EstimatorTelemetry(registry, max_samples=3)
+        telemetry.record_iteration(0, [100.0, 220.0], [110, 200])
+        telemetry.record_iteration(1, [90.0, 140.0], [100, 150])
+
+        assert telemetry.n_recorded == 4
+        assert len(telemetry.samples) == 3  # ring trimmed oldest
+        assert telemetry.samples[0].iteration == 0
+        assert telemetry.samples[0].group_index == 1
+        assert registry.histogram(REL_ERROR_METRIC).count == 4
+        assert registry.histogram(PREDICTED_METRIC).count == 4
+        assert registry.histogram(ACTUAL_METRIC).count == 4
+        assert telemetry.mean_abs_rel_error() > 0
+
+    def test_no_device_peaks_records_nothing(self):
+        registry = MetricsRegistry()
+        telemetry = EstimatorTelemetry(registry)
+        assert telemetry.record_iteration(0, [100.0], []) == []
+        assert telemetry.n_recorded == 0
+        assert registry.get(REL_ERROR_METRIC) is None
+
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry()
+        telemetry = EstimatorTelemetry(registry)
+        telemetry.record_iteration(0, [100.0], [120])
+        payload = telemetry.to_dict()
+        assert payload["n_recorded"] == 1
+        assert payload["rel_error_histogram"]["count"] == 1
+        (sample,) = payload["samples"]
+        assert sample["predicted_bytes"] == 100.0
+        assert sample["actual_bytes"] == 120.0
+        assert sample["rel_error"] == pytest.approx(-1 / 6)
+
+    def test_emits_trace_events_when_enabled(self, tracer, sink):
+        registry = MetricsRegistry()
+        telemetry = EstimatorTelemetry(registry)
+        telemetry.record_iteration(3, [10.0, 20.0], [12, 18])
+        events = [
+            e for e in sink.events if e["name"] == "estimator.group_memory"
+        ]
+        assert len(events) == 2
+        assert events[0]["attrs"]["iteration"] == 3
+
+
+class TestEndToEnd:
+    """Live recording while Buffalo trains on a synthetic power-law graph."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load("ogbn_arxiv", scale=0.02, seed=0)
+
+    def test_iterations_populate_telemetry(self, dataset, registry, tracer):
+        spec = ModelSpec(
+            dataset.feat_dim, 16, dataset.n_classes, 2, "mean"
+        )
+        device = SimulatedGPU(capacity_bytes=500 * MiB)
+        trainer = BuffaloTrainer(
+            dataset, spec, device, fanouts=[5, 5], seed=1
+        )
+        report = trainer.run_iteration(dataset.train_nodes[:40])
+        trainer.run_iteration(dataset.train_nodes[:40])
+
+        telemetry = trainer.telemetry
+        assert telemetry.n_recorded >= 2 * report.n_micro_batches
+        # One sample per (iteration, group), aligned with the plan.
+        first_iter = [s for s in telemetry.samples if s.iteration == 0]
+        assert len(first_iter) == report.n_micro_batches
+        for sample in first_iter:
+            assert sample.predicted_bytes > 0
+            assert sample.actual_bytes > 0
+        hist = registry.get(REL_ERROR_METRIC)
+        assert hist is not None
+        assert hist.count == telemetry.n_recorded

@@ -1,0 +1,120 @@
+"""Metrics registry: counters, gauges, histogram bucket edges, snapshots."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    ESTIMATOR_ERROR_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+)
+
+
+class TestCounter:
+    def test_accumulates(self, registry):
+        c = registry.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self, registry):
+        with pytest.raises(ReproError):
+            registry.counter("x").inc(-1)
+
+    def test_idempotent_registration(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(ReproError):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_and_move(self, registry):
+        g = registry.gauge("mem")
+        g.set(100)
+        g.inc(10)
+        g.dec(30)
+        assert g.value == 80
+
+
+class TestHistogramBucketEdges:
+    def test_values_land_in_first_bucket_with_edge_geq(self):
+        h = Histogram("h", (1.0, 2.0, 4.0))
+        for value, bucket in [
+            (0.5, 0),   # below first edge
+            (1.0, 0),   # exactly on an edge -> that bucket (<=)
+            (1.0001, 1),
+            (2.0, 1),
+            (3.9, 2),
+            (4.0, 2),
+            (4.1, 3),   # overflow bucket
+        ]:
+            h_counts_before = list(h.counts)
+            h.observe(value)
+            changed = [
+                i
+                for i, (a, b) in enumerate(zip(h_counts_before, h.counts))
+                if a != b
+            ]
+            assert changed == [bucket], (value, changed)
+
+    def test_overflow_bucket_exists(self):
+        h = Histogram("h", (10.0,))
+        h.observe(1e9)
+        assert h.counts == [0, 1]
+
+    def test_summary_stats(self):
+        h = Histogram("h", (1.0, 10.0))
+        for v in (0.5, 2.0, 3.5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(6.0)
+        assert h.mean == pytest.approx(2.0)
+        d = h.to_dict()
+        assert d["min"] == 0.5
+        assert d["max"] == 3.5
+
+    def test_empty_histogram_serializes(self):
+        d = Histogram("h", (1.0,)).to_dict()
+        assert d["count"] == 0
+        assert d["min"] is None and d["max"] is None
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ReproError):
+            Histogram("h", ())
+        with pytest.raises(ReproError):
+            Histogram("h", (2.0, 1.0))
+
+    def test_estimator_error_buckets_are_signed_and_increasing(self):
+        assert ESTIMATOR_ERROR_BUCKETS[0] < 0 < ESTIMATOR_ERROR_BUCKETS[-1]
+        assert list(ESTIMATOR_ERROR_BUCKETS) == sorted(
+            ESTIMATOR_ERROR_BUCKETS
+        )
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_json_stable(self, registry):
+        registry.gauge("z.last").set(1)
+        registry.counter("a.first").inc()
+        registry.histogram("m.middle", (1.0, 2.0)).observe(1.5)
+        snap = registry.snapshot()
+        assert list(snap) == ["a.first", "m.middle", "z.last"]
+        assert registry.to_json() == registry.to_json()
+        parsed = json.loads(registry.to_json())
+        assert parsed["m.middle"]["counts"] == [0, 1, 0]
+
+    def test_reset_zeroes_but_keeps_registrations(self, registry):
+        registry.counter("c").inc(5)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        registry.reset()
+        assert registry.counter("c").value == 0
+        assert registry.histogram("h").count == 0
+        assert registry.names() == ["c", "h"]
+
+    def test_global_registry_exists(self):
+        assert isinstance(get_metrics(), MetricsRegistry)

@@ -1,0 +1,112 @@
+"""Trace summarization and the Profiler's span-event consumer path."""
+
+import pytest
+
+from repro.device.profiler import Profiler
+from repro.obs.summarize import (
+    render_summary,
+    summarize_events,
+    summarize_file,
+)
+from repro.obs.trace import JsonlFileSink, ListSink
+
+
+def make_profiler_events(tracer):
+    """Drive a Profiler through the tracer; return the emitted events."""
+    sink = tracer.add_sink(ListSink())
+    profiler = Profiler()
+    with profiler.phase("sampling"):
+        pass
+    with profiler.phase("block_generation"):
+        pass
+    profiler.add_sim("gpu_compute", 0.25)
+    profiler.add_sim("gpu_compute", 0.25)
+    tracer.remove_sink(sink)
+    return profiler, sink.events
+
+
+class TestProfilerConsumesSpans:
+    def test_round_trip_matches_live_profiler(self, tracer):
+        live, events = make_profiler_events(tracer)
+        rebuilt = Profiler.from_events(events)
+        assert set(rebuilt.phases) == set(live.phases)
+        for name, record in live.phases.items():
+            assert rebuilt.phases[name].count == record.count
+            assert rebuilt.phases[name].sim_s == pytest.approx(
+                record.sim_s
+            )
+            assert rebuilt.phases[name].wall_s == pytest.approx(
+                record.wall_s, abs=1e-3
+            )
+
+    def test_non_phase_spans_ignored_by_profiler(self, tracer, sink):
+        with tracer.span("buffalo.iteration"):
+            with Profiler().phase("sampling"):
+                pass
+        rebuilt = Profiler.from_events(sink.events)
+        assert list(rebuilt.phases) == ["sampling"]
+
+    def test_consume_tolerates_garbage(self):
+        profiler = Profiler()
+        profiler.consume(None)
+        profiler.consume({"type": "span"})  # no kind/name
+        profiler.consume({"type": "event", "name": "sim", "attrs": {}})
+        assert profiler.phases == {}
+
+
+class TestDeterminism:
+    def test_breakdown_sorted_by_phase_name(self):
+        profiler = Profiler()
+        with profiler.phase("zeta"):
+            pass
+        with profiler.phase("alpha"):
+            pass
+        assert list(profiler.breakdown()) == ["alpha", "zeta"]
+
+    def test_merge_order_independent(self):
+        def prof(*names):
+            p = Profiler()
+            for name in names:
+                p.add_sim(name, 1.0)
+            return p
+
+        ab = prof("a")
+        ab.merge(prof("b"))
+        ba = prof("b")
+        ba.merge(prof("a"))
+        assert list(ab.phases) == list(ba.phases) == ["a", "b"]
+        assert ab.breakdown() == ba.breakdown()
+
+
+class TestSummarize:
+    def test_summarize_events_and_render(self, tracer):
+        _, events = make_profiler_events(tracer)
+        summary = summarize_events(events)
+        assert summary.n_events == len(events)
+        assert "gpu_compute" in summary.profiler.phases
+        text = render_summary(summary)
+        assert "sampling" in text
+        assert "share" in text
+
+    def test_summarize_file(self, tracer, tmp_path):
+        path = tmp_path / "t.jsonl"
+        file_sink = tracer.add_sink(JsonlFileSink(str(path)))
+        profiler = Profiler()
+        with profiler.phase("sampling"):
+            pass
+        with tracer.span("custom.span"):
+            pass
+        tracer.remove_sink(file_sink)
+        file_sink.close()
+
+        summary = summarize_file(str(path))
+        assert summary.n_spans == 2
+        assert summary.span_totals.keys() == {"custom.span"}
+        text = render_summary(summary)
+        assert "custom.span" in text
+
+    def test_render_is_deterministic(self, tracer):
+        _, events = make_profiler_events(tracer)
+        a = render_summary(summarize_events(events))
+        b = render_summary(summarize_events(events))
+        assert a == b

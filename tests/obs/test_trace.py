@@ -1,0 +1,184 @@
+"""Spans: nesting, attributes, JSONL round-trip, no-op fast path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.schema import validate_event
+from repro.obs.trace import (
+    NOOP_SPAN,
+    JsonlFileSink,
+    ListSink,
+    Tracer,
+    get_tracer,
+    read_jsonl,
+)
+
+
+class TestNesting:
+    def test_parent_ids_follow_nesting(self, tracer, sink):
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {e["name"]: e for e in sink.events}
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["middle"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["inner"]["parent_id"] == by_name["middle"]["span_id"]
+        assert by_name["sibling"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_children_emit_before_parent(self, tracer, sink):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [e["name"] for e in sink.events] == ["inner", "outer"]
+
+    def test_span_ids_unique(self, tracer, sink):
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [e["span_id"] for e in sink.events]
+        assert len(set(ids)) == len(ids)
+
+    def test_exception_closes_span_and_tags_error(self, tracer, sink):
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (event,) = sink.events
+        assert event["attrs"]["error"] == "ValueError"
+        assert tracer.current_span() is None
+
+
+class TestAttrs:
+    def test_initial_and_set_attr(self, tracer, sink):
+        with tracer.span("s", {"a": 1}) as span:
+            span.set_attr("b", "two")
+            span.set_attrs({"c": 3.0})
+        (event,) = sink.events
+        assert event["attrs"] == {"a": 1, "b": "two", "c": 3.0}
+
+    def test_duration_and_timestamp_populated(self, tracer, sink):
+        with tracer.span("s"):
+            pass
+        (event,) = sink.events
+        assert event["duration_s"] >= 0
+        assert event["ts"] > 0
+
+    def test_point_event_attaches_to_current_span(self, tracer, sink):
+        with tracer.span("parent") as span:
+            tracer.event("tick", {"n": 1})
+        tick, parent = sink.events
+        assert tick["type"] == "event"
+        assert tick["parent_id"] == span.span_id
+        assert parent["name"] == "parent"
+
+
+class TestJsonlRoundTrip:
+    def test_file_sink_round_trips(self, tracer, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        file_sink = tracer.add_sink(JsonlFileSink(str(path)))
+        with tracer.span("outer", {"k": 1}):
+            tracer.event("sim", {"phase": "gpu", "sim_s": 0.5})
+        tracer.remove_sink(file_sink)
+        file_sink.close()
+
+        events = list(read_jsonl(str(path)))
+        assert [e["name"] for e in events] == ["sim", "outer"]
+        for event in events:
+            assert validate_event(event) == []
+        assert events[1]["attrs"] == {"k": 1}
+
+    def test_events_are_one_json_object_per_line(self, tracer, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        file_sink = tracer.add_sink(JsonlFileSink(str(path)))
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tracer.clear_sinks()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+
+class TestNoopFastPath:
+    def test_disabled_span_is_shared_singleton(self, tracer):
+        assert not tracer.enabled
+        first = tracer.span("anything", {"ignored": 1})
+        second = tracer.span("other")
+        assert first is NOOP_SPAN
+        assert second is NOOP_SPAN
+
+    def test_noop_span_accepts_full_api(self, tracer):
+        with tracer.span("s") as span:
+            span.set_attr("a", 1)
+            span.set_attrs({"b": 2})
+            assert not span.recording
+        assert tracer.current_span() is None
+
+    def test_disabled_event_emits_nothing(self, tracer):
+        tracer.event("tick")  # must not raise nor allocate a sink
+        assert not tracer.enabled
+
+    def test_overhead_is_bounded(self, tracer):
+        import time
+
+        start = time.perf_counter()
+        for _ in range(100_000):
+            with tracer.span("hot"):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0  # generous bound: ~µs per no-op span
+
+    def test_global_tracer_is_disabled_by_default(self):
+        assert isinstance(get_tracer(), Tracer)
+
+
+class TestThreading:
+    def test_span_stacks_are_thread_local(self, tracer, sink):
+        errors = []
+
+        def worker(tag):
+            try:
+                for _ in range(50):
+                    with tracer.span(f"outer-{tag}"):
+                        with tracer.span(f"inner-{tag}") as inner:
+                            assert tracer.current_span() is inner
+            except AssertionError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        inner = [e for e in sink.events if e["name"].startswith("inner")]
+        outer = {
+            e["span_id"]: e["name"].split("-")[1]
+            for e in sink.events
+            if e["name"].startswith("outer")
+        }
+        # Every inner span's parent is an outer span of the same thread.
+        for event in inner:
+            assert outer[event["parent_id"]] == event["name"].split("-")[1]
+
+
+class TestMultipleSinks:
+    def test_fan_out(self, tracer):
+        a, b = ListSink(), ListSink()
+        tracer.add_sink(a)
+        tracer.add_sink(b)
+        with tracer.span("s"):
+            pass
+        assert len(a.events) == len(b.events) == 1
+
+    def test_remove_sink_disables(self, tracer):
+        a = tracer.add_sink(ListSink())
+        tracer.remove_sink(a)
+        assert not tracer.enabled

@@ -99,6 +99,68 @@ class TestSchedule:
         assert "group 0" in out
 
 
+class TestObservabilityFlags:
+    def test_schedule_writes_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "schedule",
+                "--dataset",
+                "ogbn_arxiv",
+                "--scale",
+                "0.05",
+                "--n-seeds",
+                "100",
+                "--fanouts",
+                "5,5",
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out and "metrics written" in out
+
+        from repro.obs.schema import validate_trace_file
+
+        assert validate_trace_file(str(trace)) > 0
+        payload = json.loads(metrics.read_text())
+        assert "buffalo.groups_per_schedule" in payload["metrics"]
+
+    def test_trace_summarize_unknown_file_exits(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "summarize", "/no/such/trace.jsonl"])
+
+    def test_trace_summarize_garbage_file_exits_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("garbage not json\n")
+        with pytest.raises(SystemExit, match="not a JSONL trace"):
+            main(["trace", "summarize", str(bad)])
+
+    def test_unwritable_trace_path_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot write trace"):
+            main(
+                [
+                    "schedule",
+                    "--dataset",
+                    "cora",
+                    "--scale",
+                    "0.05",
+                    "--n-seeds",
+                    "50",
+                    "--fanouts",
+                    "5,5",
+                    "--trace",
+                    "/no/such/dir/t.jsonl",
+                ]
+            )
+
+
 class TestExperiment:
     def test_list(self, capsys):
         assert main(["experiment", "--list"]) == 0
