@@ -1,0 +1,18 @@
+"""Benchmark: pipelined vs sequential micro-batch execution.
+
+Runs :mod:`repro.bench.experiments.pipeline_overlap` once and asserts
+its shape (pipelined epoch beats sequential while sync-mode loss parity
+holds exactly); the result table is saved under
+``benchmarks/results/pipeline_overlap.txt``.
+"""
+
+from repro.bench.experiments import pipeline_overlap
+
+from .conftest import run_and_check
+
+
+def test_pipeline_overlap(benchmark):
+    output = run_and_check(benchmark, pipeline_overlap.run)
+    assert output.data["loss"]["sequential"] == (
+        output.data["loss"]["pipelined"]
+    )

@@ -42,6 +42,7 @@ EXPERIMENTS = (
     "ablation_grouping",
     "ablation_estimator",
     "ablation_feature_cache",
+    "pipeline_overlap",
 )
 
 
@@ -78,6 +79,26 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--checkpoint", default=None)
     train.add_argument("--eval", action="store_true", dest="do_eval")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=1,
+        help="prefetch depth of the staged execution engine "
+        "(1 = sequential Algorithm 2; gradients are identical either way)",
+    )
+    train.add_argument(
+        "--pipeline-mode",
+        default="auto",
+        choices=["auto", "sync", "threaded"],
+        help="auto: threads when depth > 1; sync: deterministic staged "
+        "schedule without threads",
+    )
+    train.add_argument(
+        "--reuse-features",
+        action="store_true",
+        help="pin feature rows shared by consecutive bucket groups in a "
+        "device cache (cross-group reuse)",
+    )
     _add_obs_flags(train)
 
     schedule = sub.add_parser(
@@ -234,7 +255,14 @@ def _cmd_train(args) -> int:
         capacity_bytes=budget_bytes(dataset, args.budget_gb)
     )
     trainer = BuffaloTrainer(
-        dataset, spec, device, fanouts=fanouts, seed=args.seed
+        dataset,
+        spec,
+        device,
+        fanouts=fanouts,
+        seed=args.seed,
+        pipeline_depth=args.pipeline_depth,
+        pipeline_mode=args.pipeline_mode,
+        reuse_features=args.reuse_features,
     )
     val_nodes = None
     if args.do_eval:
@@ -269,6 +297,12 @@ def _cmd_train(args) -> int:
                 f"  micro-batches={result.total_micro_batches}"
                 f"  wall={result.wall_s:.2f}s{val}"
             )
+    if trainer.feature_cache is not None:
+        print(
+            f"feature-cache hit rate: {trainer.feature_cache.hit_rate:.1%}"
+            f"  ({trainer.feature_cache.hits} hits,"
+            f" {trainer.feature_cache.misses} misses)"
+        )
     if args.trace:
         print(f"trace written to {args.trace}")
     if args.metrics:

@@ -24,6 +24,7 @@ from repro.core.scheduler import BuffaloScheduler, SchedulePlan
 from repro.core.trainer import MicroBatchTrainer, TrainResult
 from repro.datasets.catalog import Dataset
 from repro.device.device import SimulatedGPU
+from repro.device.feature_cache import FeatureCache
 from repro.device.profiler import Profiler
 from repro.errors import SchedulingError
 from repro.gnn.footprint import ModelSpec
@@ -35,6 +36,12 @@ from repro.nn.optim import Adam, Optimizer
 from repro.obs.estimator import EstimatorTelemetry
 from repro.obs.metrics import SMALL_COUNT_BUCKETS, get_metrics
 from repro.obs.trace import get_tracer
+from repro.pipeline.engine import (
+    PipelineConfig,
+    PipelineEngine,
+    PipelineReport,
+)
+from repro.pipeline.reuse import FeatureReuseManager
 
 
 def build_model(spec: ModelSpec, *, rng: int = 0):
@@ -75,6 +82,7 @@ class IterationReport:
     plan: SchedulePlan
     micro_batches: list[MicroBatch]
     batch: SampledBatch
+    pipeline: PipelineReport | None = None
 
     @property
     def n_micro_batches(self) -> int:
@@ -95,6 +103,17 @@ class BuffaloTrainer:
             of the device capacity (headroom for parameters/optimizer).
         optimizer: optional custom optimizer (default Adam, lr=1e-3).
         seed: RNG seed for sampling and model init.
+        pipeline_depth: prefetch-queue depth of the staged execution
+            engine; ``1`` (the default) keeps the strictly sequential
+            Algorithm 2 schedule.  Any depth yields bit-identical
+            gradients — only stage overlap changes.
+        pipeline_mode: ``"auto"`` | ``"sync"`` | ``"threaded"`` (see
+            :class:`~repro.pipeline.engine.PipelineConfig`).
+        reuse_features: pin feature rows that consecutive bucket groups
+            both request in a device-resident cache, so they cross PCIe
+            once per iteration instead of once per group.
+        feature_cache_bytes: byte budget of the reuse cache; defaults
+            to 10% of the device capacity.
     """
 
     def __init__(
@@ -110,6 +129,10 @@ class BuffaloTrainer:
         clustering_coefficient: float | None = None,
         seed: int = 0,
         k_max: int = 128,
+        pipeline_depth: int = 1,
+        pipeline_mode: str = "auto",
+        reuse_features: bool = False,
+        feature_cache_bytes: int | None = None,
     ) -> None:
         if spec.in_dim != dataset.feat_dim:
             raise SchedulingError(
@@ -145,17 +168,40 @@ class BuffaloTrainer:
         self.trainer = MicroBatchTrainer(
             self.model, spec, self.optimizer, device
         )
+        self.pipeline_config = PipelineConfig(
+            depth=pipeline_depth, mode=pipeline_mode
+        )
+        self.engine = PipelineEngine(self.trainer, self.pipeline_config)
+        # depth 1 + auto keeps the legacy (strictly sequential) path;
+        # any explicit mode, or depth > 1, routes through the engine.
+        self.use_pipeline = pipeline_depth > 1 or pipeline_mode != "auto"
+        self.feature_cache: FeatureCache | None = None
+        self.reuse: FeatureReuseManager | None = None
+        if reuse_features:
+            feat_bytes = int(
+                dataset.feat_dim * dataset.features.dtype.itemsize
+            )
+            if feature_cache_bytes is None:
+                capacity = device.capacity or 0
+                feature_cache_bytes = (
+                    int(0.1 * capacity) if capacity else 64 << 20
+                )
+            feature_cache_bytes = max(feature_cache_bytes, feat_bytes)
+            self.feature_cache = FeatureCache(
+                device, feat_bytes, feature_cache_bytes
+            )
+            self.reuse = FeatureReuseManager(self.feature_cache)
         self.telemetry = EstimatorTelemetry()
         self._iteration = 0
 
     # ------------------------------------------------------------------
-    def prepare(
+    def _plan_batch(
         self,
         seeds: np.ndarray | None = None,
         *,
         profiler: Profiler | None = None,
-    ) -> tuple[SampledBatch, SchedulePlan, list[MicroBatch], Profiler]:
-        """Sample, schedule, and materialize micro-batches for one batch."""
+    ):
+        """Sample one batch and schedule it (no micro-batch generation)."""
         profiler = profiler or Profiler()
         if seeds is None:
             seeds = self.dataset.train_nodes
@@ -176,6 +222,18 @@ class BuffaloTrainer:
         with profiler.phase("buffalo_scheduling") as span:
             plan = self.scheduler.schedule(batch, blocks)
             span.set_attrs({"k": plan.k, "split": plan.split_applied})
+        return batch, blocks, plan, profiler
+
+    def prepare(
+        self,
+        seeds: np.ndarray | None = None,
+        *,
+        profiler: Profiler | None = None,
+    ) -> tuple[SampledBatch, SchedulePlan, list[MicroBatch], Profiler]:
+        """Sample, schedule, and materialize micro-batches for one batch."""
+        batch, _blocks, plan, profiler = self._plan_batch(
+            seeds, profiler=profiler
+        )
         with profiler.phase("block_generation") as span:
             micro_batches = generate_micro_batches(batch, plan)
             span.set_attr("n_micro_batches", len(micro_batches))
@@ -213,9 +271,7 @@ class BuffaloTrainer:
                 {"iteration": self._iteration, "attempt": attempt},
             ) as iter_span:
                 try:
-                    batch, plan, micro_batches, profiler = self.prepare(
-                        seeds
-                    )
+                    batch, blocks, plan, profiler = self._plan_batch(seeds)
                 except SchedulingError:
                     # A tightened constraint can become unschedulable;
                     # that is the same terminal condition as the OOM
@@ -224,18 +280,50 @@ class BuffaloTrainer:
                         raise last_oom
                     raise
                 oom_info: tuple[int, int, int] | None = None
+                micro_batches: list[MicroBatch] = []
+                pipeline_report: PipelineReport | None = None
+                reuse_active = False
                 try:
-                    result = self.trainer.train_iteration(
-                        self.dataset,
-                        batch.node_map,
-                        micro_batches,
-                        cutoffs,
-                        profiler=profiler,
-                    )
+                    if self.reuse is not None:
+                        local_sets = plan.input_node_sets(blocks)
+                        self.reuse.begin_iteration(
+                            [batch.node_map[s] for s in local_sets]
+                        )
+                        self.trainer.reuse = self.reuse
+                        reuse_active = True
+                    if self.use_pipeline:
+                        result, micro_batches, pipeline_report = (
+                            self.engine.run(
+                                self.dataset,
+                                batch,
+                                plan,
+                                cutoffs,
+                                profiler=profiler,
+                            )
+                        )
+                    else:
+                        with profiler.phase("block_generation") as span:
+                            micro_batches = generate_micro_batches(
+                                batch, plan
+                            )
+                            span.set_attr(
+                                "n_micro_batches", len(micro_batches)
+                            )
+                        result = self.trainer.train_iteration(
+                            self.dataset,
+                            batch.node_map,
+                            micro_batches,
+                            cutoffs,
+                            profiler=profiler,
+                        )
                 except DeviceOutOfMemoryError as exc:
                     if attempt == max_oom_retries:
                         raise
                     oom_info = (exc.requested, exc.live, exc.capacity)
+                finally:
+                    if reuse_active:
+                        self.reuse.end_iteration()
+                        self.trainer.reuse = None
                 if oom_info is None:
                     iter_span.set_attrs(
                         {
@@ -249,10 +337,15 @@ class BuffaloTrainer:
                 # its traceback, which pins the failed iteration's
                 # activation graph in the device ledger) is released.
                 last_oom = DeviceOutOfMemoryError(*oom_info)
-                del batch, plan, micro_batches, profiler
+                del batch, blocks, plan, micro_batches, profiler
                 import gc
 
                 gc.collect()
+                if self.feature_cache is not None:
+                    # Release cached rows: the retry recomputes the
+                    # constraint from the device's real headroom, and
+                    # resident cache bytes would distort it.
+                    self.feature_cache.clear()
                 # Snap to the device's real headroom (minus resident
                 # parameters), then keep shaving 25% per further OOM.
                 tightened = 0.75 * self.scheduler.memory_constraint
@@ -290,6 +383,7 @@ class BuffaloTrainer:
                 plan=plan,
                 micro_batches=micro_batches,
                 batch=batch,
+                pipeline=pipeline_report,
             )
         raise AssertionError("unreachable")  # pragma: no cover
 

@@ -54,31 +54,39 @@ class MicroBatch:
         )
 
 
+def materialize_micro_batch(
+    batch: SampledBatch, group: BucketGroup
+) -> MicroBatch:
+    """Build the micro-batch of one scheduled bucket group.
+
+    The parent batch's seeds occupy locals ``0..n_seeds``, so a group's
+    output rows are directly the local seed ids to expand from.  This is
+    the unit of work the pipelined engine's block-generation stage runs;
+    :func:`generate_micro_batches` is the eager all-groups wrapper.
+    """
+    rows = group.rows  # sorted ascending
+    blocks = generate_blocks_fast(batch, rows)
+    micro_batch = MicroBatch(blocks=blocks, seed_rows=rows, group=group)
+    get_metrics().counter(
+        "buffalo.micro_batches_generated",
+        help="micro-batches materialized from bucket groups",
+    ).inc()
+    return micro_batch
+
+
 def generate_micro_batches(
     batch: SampledBatch, plan: SchedulePlan
 ) -> list[MicroBatch]:
-    """Materialize one micro-batch per scheduled bucket group.
-
-    The parent batch's seeds occupy locals ``0..n_seeds``, so a group's
-    output rows are directly the local seed ids to expand from.
-    """
+    """Materialize one micro-batch per scheduled bucket group."""
     micro_batches = []
     with get_tracer().span(
         "micro_batch_generation", {"k": plan.k}
     ) as span:
         for group in plan.groups:
-            rows = group.rows  # sorted ascending
-            blocks = generate_blocks_fast(batch, rows)
-            micro_batches.append(
-                MicroBatch(blocks=blocks, seed_rows=rows, group=group)
-            )
+            micro_batches.append(materialize_micro_batch(batch, group))
         span.set_attr(
             "total_inputs", sum(mb.n_input for mb in micro_batches)
         )
-    get_metrics().counter(
-        "buffalo.micro_batches_generated",
-        help="micro-batches materialized from bucket groups",
-    ).inc(len(micro_batches))
     return micro_batches
 
 

@@ -7,8 +7,11 @@ into ``K`` bucket groups that each respect the GPU memory constraint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.config import INDEX_DTYPE
 from repro.core.estimator import BucketMemEstimator
 from repro.core.grouping import (
     BucketGroup,
@@ -23,6 +26,34 @@ from repro.gnn.footprint import ModelSpec
 from repro.graph.sampling import SampledBatch
 from repro.obs.metrics import SMALL_COUNT_BUCKETS, get_metrics
 from repro.obs.trace import get_tracer
+
+
+def group_input_nodes(blocks: list[Block], rows: np.ndarray) -> np.ndarray:
+    """Batch-local input-layer node ids reachable from output ``rows``.
+
+    Walks the batch-level block chain (input-most first) from the given
+    output rows toward the input layer — the same reachability walk the
+    memory estimator performs, but returning the concrete node ids
+    instead of their count.  The result equals the ``src_nodes`` of the
+    input-most block a micro-batch built from ``rows`` would carry, so
+    the cross-group feature-reuse layer can compute input overlap
+    *before* any micro-batch blocks are generated.
+    """
+    rows = np.unique(np.asarray(rows, dtype=INDEX_DTYPE))
+    for block in reversed(blocks):
+        degrees = block.indptr[rows + 1] - block.indptr[rows]
+        if degrees.sum() > 0:
+            starts = block.indptr[rows]
+            total = int(degrees.sum())
+            offsets = np.zeros(rows.size, dtype=INDEX_DTYPE)
+            np.cumsum(degrees[:-1], out=offsets[1:])
+            flat_pos = (
+                np.repeat(starts - offsets, degrees)
+                + np.arange(total, dtype=INDEX_DTYPE)
+            )
+            neighbor_positions = block.indices[flat_pos]
+            rows = np.unique(np.concatenate([rows, neighbor_positions]))
+    return blocks[0].src_nodes[rows]
 
 
 @dataclass
@@ -42,10 +73,27 @@ class SchedulePlan:
     split_applied: bool
     buckets: list[Bucket]
     estimator: BucketMemEstimator
+    _input_sets: list[np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def estimated_bytes(self) -> list[float]:
         return [g.estimated_bytes for g in self.groups]
+
+    def input_node_sets(self, blocks: list[Block]) -> list[np.ndarray]:
+        """Per-group batch-local input-node ids, in schedule order.
+
+        ``blocks`` is the *batch-level* chain the plan was scheduled
+        from.  Results are cached on the plan (the sets are consulted
+        both by the feature-reuse planner and by telemetry).
+        """
+        if self._input_sets is None:
+            self._input_sets = [
+                group_input_nodes(blocks, group.rows)
+                for group in self.groups
+            ]
+        return self._input_sets
 
 
 class BuffaloScheduler:

@@ -10,6 +10,14 @@ The trainer drives both clocks: CPU phases are wall-timed by the
 profiler; data loading and GPU compute advance the simulated device
 clock via the analytic cost model, while the device's allocation ledger
 observes the real activation bytes of the numpy execution.
+
+The iteration is decomposed into ``begin_iteration`` /
+``train_micro_batch`` / ``finish_iteration`` so that alternative
+drivers — notably the staged producer/consumer engine in
+:mod:`repro.pipeline.engine` — replay exactly the same operations in
+exactly the same order as :meth:`MicroBatchTrainer.train_iteration`,
+keeping gradient accumulation bit-for-bit identical regardless of how
+micro-batches are prepared.
 """
 
 from __future__ import annotations
@@ -66,6 +74,15 @@ class MicroBatchTrainer:
         spec: the matching :class:`ModelSpec` (drives the cost model).
         optimizer: optimizer over ``model.parameters()``.
         device: simulated GPU; ``None`` disables memory/time accounting.
+
+    Attributes:
+        reuse: optional cross-group feature-reuse manager (a
+            :class:`~repro.pipeline.reuse.FeatureReuseManager`).  When
+            set, the simulated host->device feature transfer is routed
+            through the device feature cache so rows shared between
+            consecutive micro-batches are not re-transferred.  The
+            numerics are unaffected — only the modeled transfer time
+            changes.
     """
 
     def __init__(
@@ -79,6 +96,7 @@ class MicroBatchTrainer:
         self.spec = spec
         self.optimizer = optimizer
         self.device = device
+        self.reuse = None
         if device is not None:
             model.to_device(device)
 
@@ -99,12 +117,109 @@ class MicroBatchTrainer:
         node_map: np.ndarray,
         block: Block,
         profiler: Profiler,
+        staged: np.ndarray | None = None,
     ) -> Tensor:
-        features = dataset.features[node_map[block.src_nodes]]
+        """Place the input features on device.
+
+        ``staged`` supplies a host-side feature array gathered ahead of
+        time by a pipeline staging worker; when absent the gather runs
+        inline.  Either way the simulated transfer is charged here, in
+        the compute thread, so the device clock and ledger advance in
+        schedule order.
+        """
+        global_nodes = node_map[block.src_nodes]
+        features = (
+            staged if staged is not None else dataset.features[global_nodes]
+        )
         if self.device is not None:
-            duration = self.device.load(features.nbytes)
+            if self.reuse is not None:
+                duration = self.reuse.stage(global_nodes)
+            else:
+                duration = self.device.load(features.nbytes)
             profiler.add_sim("data_loading", duration)
         return Tensor(features, device=self.device)
+
+    # ------------------------------------------------------------------
+    def begin_iteration(self) -> None:
+        """Zero gradients and reset the device peak for a new iteration."""
+        self.model.zero_grad()
+        if self.device is not None:
+            self.device.reset_peak()
+
+    def train_micro_batch(
+        self,
+        dataset: Dataset,
+        node_map: np.ndarray,
+        mb,
+        cutoffs: list[int],
+        total_outputs: int,
+        profiler: Profiler,
+        *,
+        index: int = 0,
+        staged_features: np.ndarray | None = None,
+    ) -> tuple[float, int | None]:
+        """Forward + backward one micro-batch, accumulating gradients.
+
+        Returns ``(loss_contribution, peak_bytes)`` where ``peak_bytes``
+        is ``None`` without a device.  The autograd graph is released
+        before returning — the point of output-layer partitioning.
+        """
+        tracer = get_tracer()
+        if self.device is not None:
+            self.device.reset_peak()
+        # Only documented protocol fields (blocks + seed_rows) are
+        # touched here, so duck-typed micro-batches keep working.
+        with tracer.span(
+            "train.micro_batch",
+            {
+                "index": index,
+                "n_output": int(len(mb.seed_rows)),
+                "n_input": int(mb.blocks[0].n_src),
+            },
+        ) as mb_span:
+            input_feats = self._load_features(
+                dataset, node_map, mb.blocks[0], profiler, staged_features
+            )
+            with profiler.phase("forward_backward_wall"):
+                logits = self.model(mb.blocks, input_feats, cutoffs)
+                labels = dataset.labels[node_map[mb.blocks[-1].dst_nodes]]
+                partial = cross_entropy_with_logits(
+                    logits, labels, reduction="sum"
+                ) * (1.0 / total_outputs)
+                partial.backward()
+                loss_value = partial.item()
+            self._simulate_compute(mb.blocks, profiler)
+            peak = None
+            if self.device is not None:
+                peak = self.device.peak_bytes
+                mb_span.set_attr("peak_bytes", peak)
+        # Release the autograd graph (activations) before the next
+        # micro-batch — the point of output-layer partitioning.
+        del logits, partial, input_feats
+        gc.collect()
+        return loss_value, peak
+
+    def finish_iteration(
+        self,
+        loss_sum: float,
+        micro_batch_peaks: list[int],
+        n_micro_batches: int,
+        profiler: Profiler,
+    ) -> TrainResult:
+        """One optimizer step over the accumulated gradients."""
+        with profiler.phase("optimizer_step"):
+            self.optimizer.step()
+
+        if not np.isfinite(loss_sum):
+            raise ConvergenceError(f"non-finite loss: {loss_sum}")
+
+        return TrainResult(
+            loss=float(loss_sum),
+            peak_bytes=max(micro_batch_peaks, default=0),
+            n_micro_batches=n_micro_batches,
+            micro_batch_peaks=micro_batch_peaks,
+            profiler=profiler,
+        )
 
     # ------------------------------------------------------------------
     def train_iteration(
@@ -132,64 +247,24 @@ class MicroBatchTrainer:
         if total_outputs == 0:
             raise ConvergenceError("no output nodes to train on")
 
-        self.model.zero_grad()
-        if self.device is not None:
-            self.device.reset_peak()
+        self.begin_iteration()
 
         loss_sum = 0.0
         micro_batch_peaks: list[int] = []
-        iteration_peak = 0
-        tracer = get_tracer()
         for index, mb in enumerate(micro_batches):
-            if self.device is not None:
-                self.device.reset_peak()
-            # Only documented protocol fields (blocks + seed_rows) are
-            # touched here, so duck-typed micro-batches keep working.
-            with tracer.span(
-                "train.micro_batch",
-                {
-                    "index": index,
-                    "n_output": int(len(mb.seed_rows)),
-                    "n_input": int(mb.blocks[0].n_src),
-                },
-            ) as mb_span:
-                input_feats = self._load_features(
-                    dataset, node_map, mb.blocks[0], profiler
-                )
-                with profiler.phase("forward_backward_wall"):
-                    logits = self.model(mb.blocks, input_feats, cutoffs)
-                    labels = dataset.labels[
-                        node_map[mb.blocks[-1].dst_nodes]
-                    ]
-                    partial = cross_entropy_with_logits(
-                        logits, labels, reduction="sum"
-                    ) * (1.0 / total_outputs)
-                    partial.backward()
-                    loss_sum += partial.item()
-                self._simulate_compute(mb.blocks, profiler)
-                if self.device is not None:
-                    micro_batch_peaks.append(self.device.peak_bytes)
-                    iteration_peak = max(
-                        iteration_peak, self.device.peak_bytes
-                    )
-                    mb_span.set_attr(
-                        "peak_bytes", self.device.peak_bytes
-                    )
-            # Release the autograd graph (activations) before the next
-            # micro-batch — the point of output-layer partitioning.
-            del logits, partial, input_feats
-            gc.collect()
+            loss_value, peak = self.train_micro_batch(
+                dataset,
+                node_map,
+                mb,
+                cutoffs,
+                total_outputs,
+                profiler,
+                index=index,
+            )
+            loss_sum += loss_value
+            if peak is not None:
+                micro_batch_peaks.append(peak)
 
-        with profiler.phase("optimizer_step"):
-            self.optimizer.step()
-
-        if not np.isfinite(loss_sum):
-            raise ConvergenceError(f"non-finite loss: {loss_sum}")
-
-        return TrainResult(
-            loss=float(loss_sum),
-            peak_bytes=iteration_peak,
-            n_micro_batches=len(micro_batches),
-            micro_batch_peaks=micro_batch_peaks,
-            profiler=profiler,
+        return self.finish_iteration(
+            loss_sum, micro_batch_peaks, len(micro_batches), profiler
         )

@@ -14,7 +14,7 @@ from repro.errors import ReproError
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.training.checkpoint import save_checkpoint
-from repro.training.dataloader import SeedBatchLoader
+from repro.training.dataloader import BackgroundPrefetcher, SeedBatchLoader
 from repro.training.evaluate import evaluate
 
 
@@ -82,6 +82,13 @@ class TrainingLoop:
         loader = SeedBatchLoader(
             self.dataset.train_nodes, self.batch_size, seed=self.seed
         )
+        # When the trainer pipelines its micro-batches, prefetch seed
+        # batches behind the same depth too — shuffling/slicing the next
+        # batch overlaps with the current batch's training.
+        config = getattr(self.trainer, "pipeline_config", None)
+        seed_source = loader
+        if config is not None and config.threaded and config.depth > 1:
+            seed_source = BackgroundPrefetcher(loader, depth=config.depth)
         tracer = get_tracer()
         registry = get_metrics()
         best_acc = -1.0
@@ -91,7 +98,7 @@ class TrainingLoop:
             with tracer.span("train.epoch", {"epoch": epoch}) as span:
                 losses = []
                 micro_total = 0
-                for seeds in loader:
+                for seeds in seed_source:
                     report = self.trainer.run_iteration(seeds)
                     losses.append(report.result.loss)
                     micro_total += report.n_micro_batches
@@ -114,6 +121,10 @@ class TrainingLoop:
                 )
                 if val_acc is not None:
                     span.set_attr("val_accuracy", val_acc)
+                # Capture the wall clock *inside* the span: closing it
+                # emits to the trace sink, and a slow sink's flush is
+                # observability overhead, not training time.
+                wall_s = time.perf_counter() - epoch_start
 
             # One registry snapshot per epoch — not per batch: the
             # instruments are cumulative, so sampling them once at the
@@ -124,7 +135,7 @@ class TrainingLoop:
                 val_accuracy=val_acc,
                 n_batches=len(losses),
                 total_micro_batches=micro_total,
-                wall_s=time.perf_counter() - epoch_start,
+                wall_s=wall_s,
                 metrics=registry.snapshot(),
             )
             self.history.append(result)

@@ -98,3 +98,57 @@ class TestFeatureCache:
             cache.load(b)
         assert device_cache.bytes_loaded < device_nocache.bytes_loaded
         assert cache.hit_rate > 0.2
+
+
+class TestPinning:
+    def test_pin_budget_is_half_capacity(self):
+        _, cache = make_cache(capacity_rows=10)
+        assert cache.max_pinned_rows == 5
+        _, tiny = make_cache(capacity_rows=1)
+        assert tiny.max_pinned_rows == 1
+
+    def test_pinned_rows_survive_lru_pressure(self):
+        _, cache = make_cache(capacity_rows=4)
+        cache.pin(np.array([0, 1]))
+        cache.load(np.array([0, 1, 2, 3]))
+        cache.load(np.array([10, 11, 12]))  # would evict 0 and 1 if LRU
+        assert cache.resident_rows == 4
+        cache.load(np.array([0, 1]))
+        assert cache.misses == 7  # 0 and 1 were still resident
+        assert cache.pinned_resident_rows == 2
+
+    def test_pin_beyond_budget_is_ignored(self):
+        _, cache = make_cache(capacity_rows=4)  # budget = 2
+        pinned = cache.pin(np.arange(5))
+        assert pinned == 2
+        assert cache.pinned_rows == 2
+        # Eviction still has victims, so residency stays bounded.
+        cache.load(np.arange(100, 110))
+        assert cache.resident_rows <= 4
+
+    def test_unpin_makes_rows_evictable(self):
+        _, cache = make_cache(capacity_rows=4)
+        cache.pin(np.array([0, 1]))
+        cache.load(np.array([0, 1, 2, 3]))
+        cache.unpin(np.array([0, 1]))
+        cache.load(np.array([20, 21, 22, 23]))
+        cache.load(np.array([0, 1]))
+        assert cache.misses > 6  # 0/1 were evicted after unpinning
+
+    def test_clear_pins_and_clear(self):
+        _, cache = make_cache(capacity_rows=4)
+        cache.pin(np.array([7]))
+        cache.load(np.array([7, 8]))
+        cache.clear_pins()
+        assert cache.pinned_rows == 0
+        assert cache.resident_rows == 2
+        cache.pin(np.array([7]))
+        cache.clear()
+        assert cache.pinned_rows == 0
+        assert cache.resident_rows == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_unpinned_nodes_are_noop(self):
+        _, cache = make_cache(capacity_rows=4)
+        cache.unpin(np.array([99]))  # never pinned
+        assert cache.pinned_rows == 0

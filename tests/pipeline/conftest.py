@@ -1,0 +1,66 @@
+"""Shared fixtures for the pipelined-engine tests: a K>1 schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core import BuffaloScheduler, generate_blocks_fast
+from repro.core.api import build_model
+from repro.core.trainer import MicroBatchTrainer
+from repro.datasets import load
+from repro.gnn.footprint import ModelSpec
+from repro.graph import sample_batch
+from repro.nn import SGD
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("ogbn_arxiv", scale=0.02, seed=0)
+
+
+@pytest.fixture(scope="module")
+def batch(dataset):
+    seeds = dataset.train_nodes[:80]
+    return sample_batch(dataset.graph, seeds, [6, 6], rng=0)
+
+
+@pytest.fixture(scope="module")
+def blocks(batch):
+    return generate_blocks_fast(batch)
+
+
+@pytest.fixture(scope="module")
+def spec(dataset):
+    return ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+
+
+@pytest.fixture(scope="module")
+def plan(batch, blocks, spec):
+    """A schedule with several bucket groups (K >= 2)."""
+    probe = BuffaloScheduler(
+        spec, float("inf"), cutoff=6, clustering_coefficient=0.2
+    )
+    total = sum(probe.schedule(batch, blocks).estimated_bytes)
+    tight = BuffaloScheduler(
+        spec, total / 4, cutoff=6, clustering_coefficient=0.2
+    )
+    plan = tight.schedule(batch, blocks)
+    assert plan.k >= 2
+    return plan
+
+
+@pytest.fixture(scope="module")
+def cutoffs(batch):
+    return list(reversed(batch.fanouts))
+
+
+@pytest.fixture
+def make_trainer(spec):
+    """Factory for identically initialized trainers (rng-matched)."""
+
+    def _make(rng=7, lr=0.05, device=None):
+        model = build_model(spec, rng=rng)
+        return MicroBatchTrainer(
+            model, spec, SGD(model.parameters(), lr=lr), device
+        )
+
+    return _make

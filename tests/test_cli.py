@@ -59,6 +59,51 @@ class TestTrain:
         assert "val_acc=" in capsys.readouterr().out
         assert ckpt.exists()
 
+    def test_pipeline_and_reuse_flags(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "cora",
+                "--scale",
+                "0.2",
+                "--epochs",
+                "1",
+                "--batch-size",
+                "30",
+                "--fanouts",
+                "5,5",
+                "--pipeline-depth",
+                "2",
+                "--reuse-features",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch 0" in out
+        assert "feature-cache hit rate" in out
+
+    def test_sync_pipeline_mode(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "cora",
+                "--scale",
+                "0.2",
+                "--epochs",
+                "1",
+                "--batch-size",
+                "30",
+                "--fanouts",
+                "5,5",
+                "--pipeline-mode",
+                "sync",
+            ]
+        )
+        assert code == 0
+        assert "epoch 0" in capsys.readouterr().out
+
     def test_fanout_mismatch_exits(self):
         with pytest.raises(SystemExit):
             main(

@@ -1,0 +1,131 @@
+"""Training-loop additions: prefetcher semantics and wall_s accounting."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BuffaloTrainer
+from repro.datasets import load
+from repro.device import SimulatedGPU
+from repro.errors import ReproError
+from repro.gnn.footprint import ModelSpec
+from repro.obs.trace import CallbackSink, get_tracer
+from repro.training import BackgroundPrefetcher, SeedBatchLoader, TrainingLoop
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("ogbn_arxiv", scale=0.02, seed=0)
+
+
+@pytest.fixture(scope="module")
+def spec(dataset):
+    return ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+
+
+class TestBackgroundPrefetcher:
+    def test_preserves_order(self):
+        items = [np.array([i]) for i in range(20)]
+        out = list(BackgroundPrefetcher(items, depth=3))
+        assert [int(x[0]) for x in out] == list(range(20))
+
+    def test_reiterable_matches_plain_loader(self):
+        # Two epochs through the prefetcher == two epochs through a
+        # same-seeded plain loader (the reshuffle still happens).
+        plain = SeedBatchLoader(np.arange(50), 12, seed=3)
+        wrapped = BackgroundPrefetcher(
+            SeedBatchLoader(np.arange(50), 12, seed=3), depth=2
+        )
+        for _ in range(2):
+            for a, b in zip(list(plain), list(wrapped)):
+                np.testing.assert_array_equal(a, b)
+
+    def test_len_delegates(self):
+        loader = SeedBatchLoader(np.arange(25), 10)
+        assert len(BackgroundPrefetcher(loader)) == len(loader)
+
+    def test_error_propagates(self):
+        def _bad():
+            yield np.array([1])
+            raise ValueError("loader exploded")
+
+        class Bad:
+            def __iter__(self):
+                return _bad()
+
+        with pytest.raises(ValueError, match="loader exploded"):
+            list(BackgroundPrefetcher(Bad(), depth=2))
+
+    def test_invalid_depth(self):
+        with pytest.raises(ReproError):
+            BackgroundPrefetcher([], depth=0)
+
+    def test_early_abandonment_stops_worker(self):
+        import threading
+
+        before = threading.active_count()
+        it = iter(BackgroundPrefetcher([np.array([i]) for i in range(100)]))
+        next(it)
+        it.close()  # generator finalizer must stop the worker
+        deadline = time.time() + 2.0
+        while threading.active_count() > before and time.time() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= before
+
+
+class TestEpochWallClock:
+    @pytest.mark.slow
+    def test_wall_s_excludes_trace_sink_flush(self, dataset, spec):
+        """A slow sink on the epoch span must not inflate wall_s."""
+        trainer = BuffaloTrainer(
+            dataset,
+            spec,
+            SimulatedGPU(capacity_bytes=1 << 40),
+            fanouts=[5, 5],
+            seed=0,
+            clustering_coefficient=0.2,
+        )
+        loop = TrainingLoop(
+            trainer=trainer,
+            dataset=dataset,
+            batch_size=len(dataset.train_nodes),
+            seed=0,
+        )
+        sink_delay = 0.6
+
+        def slow_emit(event):
+            if event.get("name") == "train.epoch":
+                time.sleep(sink_delay)
+
+        tracer = get_tracer()
+        sink = tracer.add_sink(CallbackSink(slow_emit))
+        try:
+            outer_start = time.perf_counter()
+            result = loop.run(1)[0]
+            outer = time.perf_counter() - outer_start
+        finally:
+            tracer.remove_sink(sink)
+        # The sink slept after the measurement point: the epoch's
+        # wall_s must be at least the sink delay shorter than the
+        # end-to-end time around run().
+        assert outer >= result.wall_s + sink_delay * 0.9
+        assert result.wall_s > 0
+
+    def test_pipelined_loop_matches_sequential_losses(self, dataset, spec):
+        def run(**kwargs):
+            trainer = BuffaloTrainer(
+                dataset,
+                spec,
+                SimulatedGPU(capacity_bytes=1 << 40),
+                fanouts=[5, 5],
+                seed=0,
+                clustering_coefficient=0.2,
+                **kwargs,
+            )
+            loop = TrainingLoop(
+                trainer=trainer, dataset=dataset, batch_size=60, seed=0
+            )
+            return [r.mean_loss for r in loop.run(2)]
+
+        assert run() == run(pipeline_depth=2)
