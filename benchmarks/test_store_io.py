@@ -1,0 +1,19 @@
+"""Benchmark: out-of-core store gathers vs the in-memory matrix.
+
+Runs :mod:`repro.bench.experiments.store_io` once and asserts its shape
+(store gathers are bitwise equal while the hot-node cache absorbs disk
+traffic); the result table is saved under
+``benchmarks/results/store_io.txt``.
+"""
+
+from repro.bench.experiments import store_io
+
+from .conftest import run_and_check
+
+
+def test_store_io(benchmark):
+    output = run_and_check(benchmark, store_io.run)
+    # The largest hot cache keeps the store's resident footprint a
+    # fraction of the full matrix while still hitting most gathers.
+    biggest = output.data["hot_20%"]
+    assert biggest["hit_rate"] > 0.15

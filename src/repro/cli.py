@@ -5,7 +5,10 @@ Subcommands::
     python -m repro datasets                    # Table II-style stats
     python -m repro train --dataset ogbn_arxiv  # Buffalo training
     python -m repro train --trace t.jsonl --metrics m.json  # + telemetry
+    python -m repro train --data-store d.store  # out-of-core training
     python -m repro schedule --dataset reddit   # inspect a plan
+    python -m repro store build cora.npz cora.store  # convert to a store
+    python -m repro store info cora.store       # inspect a store
     python -m repro trace summarize t.jsonl     # per-phase breakdown
     python -m repro experiment fig10            # regenerate a figure
     python -m repro experiment --list
@@ -43,6 +46,7 @@ EXPERIMENTS = (
     "ablation_estimator",
     "ablation_feature_cache",
     "pipeline_overlap",
+    "store_io",
 )
 
 
@@ -60,6 +64,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train a GNN with Buffalo")
     train.add_argument("--dataset", default="ogbn_arxiv")
+    train.add_argument(
+        "--data-store",
+        default=None,
+        metavar="PATH",
+        help="train from an on-disk dataset store (built with "
+        "`repro store build`) instead of generating --dataset in memory",
+    )
     train.add_argument("--scale", type=float, default=0.1)
     train.add_argument(
         "--aggregator",
@@ -99,6 +110,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pin feature rows shared by consecutive bucket groups in a "
         "device cache (cross-group reuse)",
     )
+    train.add_argument(
+        "--feature-cache-bytes",
+        type=int,
+        default=None,
+        help="byte budget of the device feature cache used by "
+        "--reuse-features (default: 10%% of device capacity)",
+    )
+    train.add_argument(
+        "--hot-cache-mb",
+        type=float,
+        default=None,
+        help="hot-node cache budget (MiB) of a --data-store feature "
+        "store (default 16 MiB)",
+    )
+    train.add_argument(
+        "--host-budget-mb",
+        type=float,
+        default=None,
+        help="soft ceiling (MiB) on host-resident feature bytes of a "
+        "--data-store run; the hot cache shrinks to fit",
+    )
     _add_obs_flags(train)
 
     schedule = sub.add_parser(
@@ -113,6 +145,49 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--fanouts", default="10,25")
     schedule.add_argument("--seed", type=int, default=0)
     _add_obs_flags(schedule)
+
+    store = sub.add_parser(
+        "store", help="build or inspect an on-disk dataset store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    build = store_sub.add_parser(
+        "build",
+        help="convert a saved .npz dataset (or a catalog name) into "
+        "the chunked store layout",
+    )
+    build.add_argument(
+        "source", help="path to a saved .npz dataset, or a dataset name"
+    )
+    build.add_argument("dest", help="store directory to create")
+    build.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        help="feature rows per shard file (default 4096)",
+    )
+    build.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset scale when source is a catalog name",
+    )
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--force",
+        action="store_true",
+        help="replace an existing store at dest",
+    )
+    info = store_sub.add_parser("info", help="summarize a store")
+    info.add_argument("path", help="store directory")
+    info.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every file's size and CRC32 against the manifest",
+    )
+    info.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON",
+    )
 
     trace = sub.add_parser(
         "trace", help="inspect a JSONL trace produced by --trace"
@@ -190,6 +265,12 @@ def _observability(args, extra_payload: dict | None = None):
                 )
 
 
+def _require_positive(value, flag: str) -> None:
+    """Exit with a one-line message when a budget flag is non-positive."""
+    if value is not None and value <= 0:
+        raise SystemExit(f"{flag} must be positive, got {value}")
+
+
 def _parse_fanouts(text: str) -> list[int]:
     try:
         fanouts = [int(x) for x in text.split(",") if x.strip()]
@@ -241,7 +322,38 @@ def _cmd_train(args) -> int:
         raise SystemExit(
             f"--fanouts needs {args.layers} values for --layers {args.layers}"
         )
-    dataset = load(args.dataset, scale=args.scale, seed=args.seed)
+    _require_positive(args.budget_gb, "--budget-gb (memory budget)")
+    _require_positive(args.feature_cache_bytes, "--feature-cache-bytes")
+    _require_positive(args.hot_cache_mb, "--hot-cache-mb")
+    _require_positive(args.host_budget_mb, "--host-budget-mb")
+    if args.data_store is not None:
+        from pathlib import Path
+
+        from repro.datasets import open_dataset
+        from repro.store import is_store_path
+
+        if not Path(args.data_store).exists():
+            raise SystemExit(f"no such dataset store: {args.data_store}")
+        if not is_store_path(args.data_store):
+            raise SystemExit(
+                f"{args.data_store} is not a dataset store "
+                f"(build one with `repro store build`)"
+            )
+        dataset = open_dataset(
+            args.data_store,
+            hot_cache_bytes=(
+                int(args.hot_cache_mb * 2**20)
+                if args.hot_cache_mb is not None
+                else None
+            ),
+            host_budget_bytes=(
+                int(args.host_budget_mb * 2**20)
+                if args.host_budget_mb is not None
+                else None
+            ),
+        )
+    else:
+        dataset = load(args.dataset, scale=args.scale, seed=args.seed)
     spec = ModelSpec(
         dataset.feat_dim,
         args.hidden,
@@ -263,6 +375,7 @@ def _cmd_train(args) -> int:
         pipeline_depth=args.pipeline_depth,
         pipeline_mode=args.pipeline_mode,
         reuse_features=args.reuse_features,
+        feature_cache_bytes=args.feature_cache_bytes,
     )
     val_nodes = None
     if args.do_eval:
@@ -275,10 +388,15 @@ def _cmd_train(args) -> int:
         checkpoint_path=args.checkpoint,
         seed=args.seed,
     )
+    source = (
+        f"{dataset.name} (store {args.data_store})"
+        if args.data_store is not None
+        else args.dataset
+    )
     print(
         f"training {args.aggregator}-GraphSAGE"
         f"{' (GAT)' if args.aggregator == 'attention' else ''} on "
-        f"{args.dataset} under {args.budget_gb:.0f} GB-equivalent "
+        f"{source} under {args.budget_gb:.0f} GB-equivalent "
         f"({device.capacity / 2**20:.0f} MiB)"
     )
     with _observability(
@@ -303,6 +421,14 @@ def _cmd_train(args) -> int:
             f"  ({trainer.feature_cache.hits} hits,"
             f" {trainer.feature_cache.misses} misses)"
         )
+    if trainer.store is not None:
+        store = trainer.store
+        print(
+            f"feature store: hot-cache hit rate {store.hot_hit_rate:.1%}"
+            f"  disk {store.bytes_read / 2**20:.2f} MiB"
+            f"  peak resident {store.peak_resident_bytes / 2**20:.2f} MiB"
+            f" (full matrix {store.nbytes / 2**20:.2f} MiB)"
+        )
     if args.trace:
         print(f"trace written to {args.trace}")
     if args.metrics:
@@ -317,6 +443,7 @@ def _cmd_schedule(args) -> int:
     from repro.datasets import load
     from repro.gnn.footprint import ModelSpec
 
+    _require_positive(args.budget_gb, "--budget-gb (memory budget)")
     fanouts = _parse_fanouts(args.fanouts)
     dataset = load(args.dataset, scale=args.scale, seed=args.seed)
     prepared = prepare_batch(
@@ -350,6 +477,49 @@ def _cmd_schedule(args) -> int:
         print(f"trace written to {args.trace}")
     if args.metrics:
         print(f"metrics written to {args.metrics}")
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from pathlib import Path
+
+    from repro.store import build_store, describe_store, store_info
+
+    if args.store_command == "build":
+        _require_positive(args.shard_rows, "--shard-rows")
+        _require_positive(args.scale, "--scale")
+        source = Path(args.source)
+        if source.exists():
+            from repro.datasets.io import load_dataset
+
+            dataset = load_dataset(source)
+        else:
+            if source.suffix or "/" in args.source:
+                raise SystemExit(f"no such dataset file: {args.source}")
+            from repro.datasets import load
+
+            dataset = load(args.source, scale=args.scale, seed=args.seed)
+        kwargs = {"overwrite": args.force}
+        if args.shard_rows is not None:
+            kwargs["shard_rows"] = args.shard_rows
+        manifest = build_store(dataset, args.dest, **kwargs)
+        total = sum(int(f["bytes"]) for f in manifest.files.values())
+        print(
+            f"built store {args.dest}: {manifest.n_nodes:,} nodes, "
+            f"{manifest.n_edges:,} edges, {manifest.n_shards} feature "
+            f"shard(s), {total / 2**20:.2f} MiB"
+        )
+        return 0
+    # store info
+    if not Path(args.path).exists():
+        raise SystemExit(f"no such dataset store: {args.path}")
+    info = store_info(args.path, verify=args.verify)
+    if args.as_json:
+        from repro.store.builder import info_json
+
+        print(info_json(info))
+    else:
+        print(describe_store(info))
     return 0
 
 
@@ -411,10 +581,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "train": _cmd_train,
         "schedule": _cmd_schedule,
+        "store": _cmd_store,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
     }
-    return handlers[args.command](args)
+    from repro.errors import DatasetError
+
+    try:
+        return handlers[args.command](args)
+    except DatasetError as exc:
+        # Bad inputs (unknown dataset, corrupt file, torn store) are
+        # user errors: one line, no traceback.
+        raise SystemExit(f"error: {exc}")
 
 
 if __name__ == "__main__":  # pragma: no cover

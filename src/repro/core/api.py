@@ -42,6 +42,7 @@ from repro.pipeline.engine import (
     PipelineReport,
 )
 from repro.pipeline.reuse import FeatureReuseManager
+from repro.store import FeatureStore, SchedulePrefetcher
 
 
 def build_model(spec: ModelSpec, *, rng: int = 0):
@@ -114,6 +115,13 @@ class BuffaloTrainer:
             once per iteration instead of once per group.
         feature_cache_bytes: byte budget of the reuse cache; defaults
             to 10% of the device capacity.
+        store_prefetch: when the dataset's features are served by an
+            out-of-core :class:`~repro.store.FeatureStore`, warm each
+            bucket group's input rows ahead of its compute using the
+            schedule's input-node sets (on by default; numerics are
+            identical either way).
+        store_prefetch_depth: staged groups the prefetcher may run
+            ahead (defaults to ``max(2, pipeline_depth)``).
     """
 
     def __init__(
@@ -133,6 +141,8 @@ class BuffaloTrainer:
         pipeline_mode: str = "auto",
         reuse_features: bool = False,
         feature_cache_bytes: int | None = None,
+        store_prefetch: bool = True,
+        store_prefetch_depth: int | None = None,
     ) -> None:
         if spec.in_dim != dataset.feat_dim:
             raise SchedulingError(
@@ -191,6 +201,21 @@ class BuffaloTrainer:
                 device, feat_bytes, feature_cache_bytes
             )
             self.reuse = FeatureReuseManager(self.feature_cache)
+        # Out-of-core datasets expose their features as a FeatureStore;
+        # the schedule-aware prefetcher overlaps its shard reads with
+        # compute, one bucket group ahead of the trainer.
+        self.store: FeatureStore | None = (
+            dataset.features
+            if isinstance(dataset.features, FeatureStore)
+            else None
+        )
+        self.prefetcher: SchedulePrefetcher | None = None
+        if self.store is not None and store_prefetch:
+            self.prefetcher = SchedulePrefetcher(
+                self.store,
+                depth=store_prefetch_depth or max(2, pipeline_depth),
+                threaded=self.pipeline_config.threaded,
+            )
         self.telemetry = EstimatorTelemetry()
         self._iteration = 0
 
@@ -283,6 +308,7 @@ class BuffaloTrainer:
                 micro_batches: list[MicroBatch] = []
                 pipeline_report: PipelineReport | None = None
                 reuse_active = False
+                prefetch_active = False
                 try:
                     if self.reuse is not None:
                         local_sets = plan.input_node_sets(blocks)
@@ -291,6 +317,12 @@ class BuffaloTrainer:
                         )
                         self.trainer.reuse = self.reuse
                         reuse_active = True
+                    if self.prefetcher is not None:
+                        local_sets = plan.input_node_sets(blocks)
+                        self.prefetcher.begin_iteration(
+                            [batch.node_map[s] for s in local_sets]
+                        )
+                        prefetch_active = True
                     if self.use_pipeline:
                         result, micro_batches, pipeline_report = (
                             self.engine.run(
@@ -324,6 +356,8 @@ class BuffaloTrainer:
                     if reuse_active:
                         self.reuse.end_iteration()
                         self.trainer.reuse = None
+                    if prefetch_active:
+                        self.prefetcher.end_iteration()
                 if oom_info is None:
                     iter_span.set_attrs(
                         {

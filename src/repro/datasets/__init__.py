@@ -12,6 +12,7 @@ measures (see DESIGN.md §2).
 
 from repro.datasets.catalog import DATASET_NAMES, Dataset, DatasetSpec, load, spec
 from repro.datasets.features import synthesize_features, synthesize_labels
+from repro.datasets.io import load_dataset, open_dataset, save_dataset
 from repro.datasets.synthetic import (
     boost_clustering,
     community_powerlaw_graph,
@@ -25,6 +26,9 @@ __all__ = [
     "Dataset",
     "DatasetSpec",
     "load",
+    "load_dataset",
+    "open_dataset",
+    "save_dataset",
     "spec",
     "synthesize_features",
     "synthesize_labels",

@@ -29,6 +29,7 @@ __all__ = [
     "ESTIMATOR_ERROR_BUCKETS",
     "SMALL_COUNT_BUCKETS",
     "BYTE_BUCKETS",
+    "SECONDS_BUCKETS",
 ]
 
 # Relative-error buckets for the Table III estimator-accuracy histogram:
@@ -43,6 +44,10 @@ SMALL_COUNT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 # Byte sizes from 1 KiB to 64 GiB in power-of-4 steps.
 BYTE_BUCKETS = tuple(float(4**i * 1024) for i in range(13))
+
+# Wall-clock durations from 10 µs to 100 s (gather latency, staging,
+# queue waits) in decade steps.
+SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0)
 
 
 class Counter:

@@ -45,7 +45,7 @@ from repro.datasets.catalog import Dataset
 from repro.device.profiler import Profiler
 from repro.errors import ConvergenceError, ReproError
 from repro.graph.sampling import SampledBatch
-from repro.obs.metrics import get_metrics
+from repro.obs.metrics import SECONDS_BUCKETS, get_metrics
 from repro.obs.trace import get_tracer
 from repro.pipeline.model import (
     StageTiming,
@@ -53,10 +53,10 @@ from repro.pipeline.model import (
     sequential_time,
 )
 
-#: Histogram edges for queue-wait / staging durations (seconds).
-STAGE_SECONDS_BUCKETS = (
-    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0,
-)
+#: Histogram edges for queue-wait / staging durations (seconds);
+#: shared with the store's gather-latency histogram so the two are
+#: directly comparable in one metrics snapshot.
+STAGE_SECONDS_BUCKETS = SECONDS_BUCKETS
 
 _DONE = object()
 

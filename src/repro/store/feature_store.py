@@ -1,0 +1,394 @@
+"""Out-of-core feature matrix: row shards + hot-node cache + staging.
+
+The feature matrix is the piece of a GNN dataset that actually breaks
+host RAM (features dominate graphs by an order of magnitude at typical
+dims), so it is stored as row shards — ``features/shard-XXXXX.npy``,
+each holding ``shard_rows`` consecutive rows — and gathered on demand:
+
+* **hot-node cache** — power-law graphs concentrate gathers on a small
+  set of high-degree nodes (every sampled batch touches the hubs).  At
+  open time the top rows of the store's degree ordering are loaded into
+  one dense in-memory array, bounded by ``hot_cache_bytes``; gathers
+  hit it without touching disk.
+* **shard reads** — cold rows are read from lazily opened, memory-mapped
+  shards, grouped per shard so each gather touches every needed shard
+  exactly once.
+* **staging** — a prefetcher (:mod:`repro.store.prefetch`) may gather a
+  future micro-batch's rows ahead of time with :meth:`prefetch`; a
+  later :meth:`gather` whose ids are covered by a staged entry is
+  served from it, bit-for-bit identical to a direct gather.
+
+The store quacks like the 2-D ndarray the trainer already indexes
+(``shape`` / ``dtype`` / ``__getitem__`` / ``astype``), so every
+consumer of ``dataset.features`` works unchanged on top of it.
+
+Host-memory accounting: ``resident_bytes`` sums the hot cache, staged
+buffers, and the in-flight gather output; ``peak_resident_bytes`` is
+its high-water mark and is exported as the
+``buffalo.store.peak_resident_bytes`` gauge — the number the parity
+test holds under a budget smaller than the full matrix.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import INDEX_DTYPE
+from repro.errors import DatasetError
+from repro.obs.metrics import BYTE_BUCKETS, SECONDS_BUCKETS, get_metrics
+from repro.obs.trace import get_tracer
+from repro.store.layout import StoreManifest, load_mapped, read_manifest
+
+HOT_ORDER_FILE = "hot_order.npy"
+
+#: Default budget for the hot-node cache (bytes).
+DEFAULT_HOT_CACHE_BYTES = 16 << 20
+
+
+def shard_name(shard: int) -> str:
+    return f"features/shard-{shard:05d}.npy"
+
+
+class FeatureStore:
+    """Row-sharded on-disk feature matrix with ndarray-style access.
+
+    Args:
+        root: store directory.
+        manifest: pre-parsed manifest (read from ``root`` when omitted).
+        hot_cache_bytes: budget of the degree-ordered hot-row cache
+            (``0`` disables it).
+        host_budget_bytes: soft ceiling on resident feature bytes.  The
+            hot cache is shrunk to fit under it; gathers larger than the
+            remaining headroom still run (correctness first) but the
+            overage is visible in ``peak_resident_bytes``.
+
+    Thread safety: gathers may run from the pipeline engine's staging
+    worker concurrently with prefetches; all mutable state (staged
+    entries, statistics, residency) is guarded by one lock, while shard
+    reads themselves run unlocked (memmaps are read-only).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        manifest: StoreManifest | None = None,
+        *,
+        hot_cache_bytes: int | None = None,
+        host_budget_bytes: int | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.manifest = manifest or read_manifest(self.root)
+        m = self.manifest
+        self.dtype = np.dtype(m.feature_dtype)
+        self.shape = (int(m.n_nodes), int(m.feat_dim))
+        self.ndim = 2
+        self.row_bytes = int(m.feat_dim) * self.dtype.itemsize
+        self.shard_rows = int(m.shard_rows)
+        self.n_shards = int(m.n_shards)
+        self.host_budget_bytes = (
+            int(host_budget_bytes) if host_budget_bytes else None
+        )
+        self._shards: dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+        # Staged entries, FIFO: (key, sorted_ids, rows) — `rows` aligned
+        # with `sorted_ids`.  Bounded by the prefetcher's depth.
+        self._staged: list[tuple[int, np.ndarray, np.ndarray]] = []
+        self._staged_bytes = 0
+        self.on_staged_consumed = None  # prefetcher back-pressure hook
+        # Statistics.
+        self.gathers = 0
+        self.hot_hits = 0
+        self.staged_rows = 0
+        self.disk_rows = 0
+        self.bytes_read = 0
+        self._peak_resident = 0
+        self._build_hot_cache(
+            DEFAULT_HOT_CACHE_BYTES
+            if hot_cache_bytes is None
+            else int(hot_cache_bytes)
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-node cache
+    # ------------------------------------------------------------------
+    def _build_hot_cache(self, hot_cache_bytes: int) -> None:
+        n_nodes, dim = self.shape
+        # The slot table (one int32 per node) is part of the resident
+        # footprint and must fit under the host budget too.
+        slot_bytes = n_nodes * 4
+        if self.host_budget_bytes is not None:
+            headroom = self.host_budget_bytes - slot_bytes
+            hot_cache_bytes = max(min(hot_cache_bytes, headroom), 0)
+        n_hot = min(hot_cache_bytes // max(self.row_bytes, 1), n_nodes)
+        self._hot_slot = np.full(n_nodes, -1, dtype=np.int32)
+        if n_hot <= 0:
+            self._hot_rows = np.empty((0, dim), dtype=self.dtype)
+            self._note_resident(0)
+            return
+        order = load_mapped(self.root, HOT_ORDER_FILE, self.manifest)
+        hot_ids = np.asarray(order[:n_hot], dtype=INDEX_DTYPE)
+        self._hot_rows = self._read_rows(np.sort(hot_ids))
+        self._hot_slot[np.sort(hot_ids)] = np.arange(n_hot, dtype=np.int32)
+        # The warm-up read is disk traffic but not a gather; keep the
+        # gather counters clean.
+        self.disk_rows = 0
+        self.bytes_read = 0
+        self._note_resident(0)
+
+    @property
+    def hot_rows(self) -> int:
+        """Rows resident in the hot-node cache."""
+        return int(self._hot_rows.shape[0])
+
+    @property
+    def hot_cache_bytes(self) -> int:
+        return int(self._hot_rows.nbytes)
+
+    # ------------------------------------------------------------------
+    # Residency accounting
+    # ------------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        """Hot cache + slot table + staged buffers (steady state)."""
+        return (
+            self.hot_cache_bytes + self._hot_slot.nbytes + self._staged_bytes
+        )
+
+    @property
+    def peak_resident_bytes(self) -> int:
+        """High-water mark of resident + in-flight gather bytes."""
+        return self._peak_resident
+
+    def _note_resident(self, transient_bytes: int) -> None:
+        total = self.resident_bytes + int(transient_bytes)
+        if total > self._peak_resident:
+            self._peak_resident = total
+            get_metrics().gauge(
+                "buffalo.store.peak_resident_bytes",
+                help="peak host-resident feature bytes (cache+staged+gather)",
+            ).set(total)
+
+    # ------------------------------------------------------------------
+    # Raw shard access
+    # ------------------------------------------------------------------
+    def _shard(self, shard: int) -> np.ndarray:
+        mapped = self._shards.get(shard)
+        if mapped is None:
+            mapped = load_mapped(self.root, shard_name(shard), self.manifest)
+            self._shards[shard] = mapped
+        return mapped
+
+    def _read_rows(self, ids: np.ndarray) -> np.ndarray:
+        """Read ``ids`` (ascending) straight from the shards."""
+        out = np.empty((ids.size, self.shape[1]), dtype=self.dtype)
+        if ids.size == 0:
+            return out
+        shards = ids // self.shard_rows
+        bounds = np.flatnonzero(np.diff(shards)) + 1
+        start = 0
+        for end in list(bounds) + [ids.size]:
+            shard = int(shards[start])
+            local = ids[start:end] - shard * self.shard_rows
+            out[start:end] = self._shard(shard)[local]
+            start = end
+        with self._lock:
+            self.disk_rows += ids.size
+            self.bytes_read += ids.size * self.row_bytes
+        get_metrics().counter(
+            "buffalo.store.disk_bytes_read",
+            help="feature bytes read from store shards",
+        ).inc(ids.size * self.row_bytes)
+        return out
+
+    # ------------------------------------------------------------------
+    # Gather
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(ids: np.ndarray) -> int:
+        return zlib.crc32(ids.tobytes()) ^ (ids.size << 32)
+
+    def _serve_staged(self, ids: np.ndarray) -> np.ndarray | None:
+        """Serve ``ids`` from a staged entry covering them, if any."""
+        with self._lock:
+            for i, (key, sorted_ids, rows) in enumerate(self._staged):
+                pos = np.searchsorted(sorted_ids, ids)
+                pos_ok = pos < sorted_ids.size
+                if not np.all(pos_ok):
+                    continue
+                if not np.array_equal(sorted_ids[pos], ids):
+                    continue
+                out = rows[pos]
+                del self._staged[i]
+                self._staged_bytes -= rows.nbytes
+                self.staged_rows += ids.size
+                callback = self.on_staged_consumed
+                break
+            else:
+                return None
+        if callback is not None:
+            callback()
+        return out
+
+    def gather(self, node_ids: np.ndarray) -> np.ndarray:
+        """Features of ``node_ids`` as a fresh ``(n, dim)`` array.
+
+        Rows come from (in priority order) a covering staged entry, the
+        hot-node cache, and the mapped shards; the values are identical
+        whichever path serves them.
+        """
+        ids = np.asarray(node_ids, dtype=INDEX_DTYPE).ravel()
+        start = time.perf_counter()
+        with get_tracer().span("store.gather", {"n_rows": int(ids.size)}) as span:
+            staged = self._serve_staged(ids)
+            if staged is not None:
+                out = staged
+                span.set_attr("source", "staged")
+            else:
+                out = np.empty((ids.size, self.shape[1]), dtype=self.dtype)
+                slots = self._hot_slot[ids]
+                hot = slots >= 0
+                n_hot = int(np.count_nonzero(hot))
+                if n_hot:
+                    out[hot] = self._hot_rows[slots[hot]]
+                if n_hot < ids.size:
+                    cold_pos = np.flatnonzero(~hot)
+                    cold_ids = ids[cold_pos]
+                    order = np.argsort(cold_ids, kind="stable")
+                    out[cold_pos[order]] = self._read_rows(cold_ids[order])
+                with self._lock:
+                    self.hot_hits += n_hot
+                span.set_attr("source", "cache+disk")
+        with self._lock:
+            self.gathers += 1
+            self._note_resident(out.nbytes)
+        metrics = get_metrics()
+        metrics.histogram(
+            "buffalo.store.gather_s",
+            SECONDS_BUCKETS,
+            help="host feature-gather latency per call",
+        ).observe(time.perf_counter() - start)
+        metrics.histogram(
+            "buffalo.store.gather_bytes",
+            BYTE_BUCKETS,
+            help="bytes returned per feature gather",
+        ).observe(out.nbytes)
+        return out
+
+    @property
+    def hot_hit_rate(self) -> float:
+        """Fraction of gathered rows served by the hot-node cache."""
+        total = self.hot_hits + self.disk_rows + self.staged_rows
+        return self.hot_hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Staging (schedule-aware prefetch)
+    # ------------------------------------------------------------------
+    def prefetch(self, node_ids: np.ndarray) -> int:
+        """Stage ``node_ids``' rows host-side for a later gather.
+
+        Returns the staged bytes — ``0`` when the host budget has no
+        headroom for the entry, in which case nothing is read and the
+        eventual gather serves those rows directly (prefetch is purely
+        advisory).  Staged rows are read through the same hot-cache /
+        shard path a gather uses, so a staged-then-gathered row is
+        bit-identical to a directly gathered one.
+        """
+        ids = np.unique(np.asarray(node_ids, dtype=INDEX_DTYPE).ravel())
+        if self.host_budget_bytes is not None:
+            # The staged entry lives alongside the gather output that
+            # will consume it, so require headroom for both copies.
+            entry_bytes = ids.size * self.row_bytes
+            if self.resident_bytes + 2 * entry_bytes > self.host_budget_bytes:
+                get_metrics().counter(
+                    "buffalo.store.prefetch_declined",
+                    help="prefetches skipped for lack of host headroom",
+                ).inc()
+                return 0
+        with get_tracer().span("store.prefetch", {"n_rows": int(ids.size)}):
+            rows = np.empty((ids.size, self.shape[1]), dtype=self.dtype)
+            slots = self._hot_slot[ids]
+            hot = slots >= 0
+            if np.any(hot):
+                rows[hot] = self._hot_rows[slots[hot]]
+            if not np.all(hot):
+                rows[~hot] = self._read_rows(ids[~hot])
+            with self._lock:
+                self.hot_hits += int(np.count_nonzero(hot))
+                self._staged.append((self._key(ids), ids, rows))
+                self._staged_bytes += rows.nbytes
+                self._note_resident(0)
+        return int(rows.nbytes)
+
+    def drop_staged(self) -> None:
+        """Discard every staged entry (end of an iteration)."""
+        with self._lock:
+            self._staged.clear()
+            self._staged_bytes = 0
+
+    def reset_stats(self) -> None:
+        """Zero the gather counters (benchmark warm-up boundary)."""
+        with self._lock:
+            self.gathers = 0
+            self.hot_hits = 0
+            self.staged_rows = 0
+            self.disk_rows = 0
+            self.bytes_read = 0
+            self._peak_resident = 0
+
+    @property
+    def staged_entries(self) -> int:
+        with self._lock:
+            return len(self._staged)
+
+    # ------------------------------------------------------------------
+    # ndarray compatibility
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Logical bytes of the full matrix (not resident bytes)."""
+        return self.shape[0] * self.row_bytes
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __getitem__(self, index):
+        if isinstance(index, (int, np.integer)):
+            return self.gather(np.asarray([index]))[0]
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.shape[0])
+            return self.gather(np.arange(start, stop, step))
+        return self.gather(index)
+
+    def astype(self, dtype, copy: bool = True):
+        """Match ``ndarray.astype``; a same-dtype no-copy request keeps
+        the store (layer-wise inference materializes per chunk)."""
+        if np.dtype(dtype) == self.dtype and not copy:
+            return self
+        return self.materialize().astype(dtype, copy=False)
+
+    def __array__(self, dtype=None):
+        dense = self.materialize()
+        return dense if dtype is None else dense.astype(dtype, copy=False)
+
+    def materialize(self) -> np.ndarray:
+        """Read the whole matrix into memory (escape hatch; counts
+        against the peak-resident metric like any other gather)."""
+        return self.gather(np.arange(self.shape[0], dtype=INDEX_DTYPE))
+
+    def close(self) -> None:
+        """Drop shard maps, staged buffers, and the hot cache."""
+        self.drop_staged()
+        self._shards.clear()
+        self._hot_rows = np.empty((0, self.shape[1]), dtype=self.dtype)
+        self._hot_slot = np.full(self.shape[0], -1, dtype=np.int32)
+
+    def __repr__(self) -> str:
+        return (
+            f"FeatureStore(root={str(self.root)!r}, shape={self.shape}, "
+            f"hot_rows={self.hot_rows}, shards={self.n_shards})"
+        )

@@ -1,0 +1,83 @@
+"""Memory-mapped CSR graph backed by a dataset store.
+
+The store keeps ``indptr`` and ``indices`` as plain ``.npy`` files;
+opening them with ``mmap_mode="r"`` gives zero-copy, demand-paged
+arrays, and :class:`~repro.graph.csr.CSRGraph` built over them serves
+the exact neighbor-access surface the sampler, the bucketing pass, the
+scheduler's reachability walk, and ``generate_blocks_fast`` consume —
+none of which ever needs the whole adjacency resident in host memory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import INDEX_DTYPE
+from repro.errors import DatasetError
+from repro.graph.csr import CSRGraph
+from repro.store.layout import StoreManifest, load_mapped, read_manifest
+
+INDPTR_FILE = "graph.indptr.npy"
+INDICES_FILE = "graph.indices.npy"
+
+
+class GraphStore:
+    """Read-only view of the on-disk CSR arrays of a store.
+
+    Args:
+        root: store directory (must contain a manifest).
+        manifest: pre-parsed manifest (read from ``root`` when omitted).
+
+    ``as_csr()`` hands back a :class:`CSRGraph` whose ``indptr`` /
+    ``indices`` are views of the mapped files — structure validation is
+    skipped (the builder validated at write time and the manifest CRCs
+    guard the bytes), so opening is O(1) regardless of graph size.
+    """
+
+    def __init__(
+        self, root: str | Path, manifest: StoreManifest | None = None
+    ) -> None:
+        self.root = Path(root)
+        self.manifest = manifest or read_manifest(self.root)
+        self.indptr = load_mapped(self.root, INDPTR_FILE, self.manifest)
+        self.indices = load_mapped(self.root, INDICES_FILE, self.manifest)
+        if self.indptr.dtype != INDEX_DTYPE or self.indices.dtype != INDEX_DTYPE:
+            raise DatasetError(
+                f"store graph arrays must be {np.dtype(INDEX_DTYPE).name}; "
+                f"found {self.indptr.dtype.name}/{self.indices.dtype.name}"
+            )
+        if self.indptr.size != self.manifest.n_nodes + 1:
+            raise DatasetError(
+                f"store indptr has {self.indptr.size} entries; manifest "
+                f"says {self.manifest.n_nodes} nodes"
+            )
+        if self.indices.size != self.manifest.n_edges:
+            raise DatasetError(
+                f"store indices has {self.indices.size} entries; manifest "
+                f"says {self.manifest.n_edges} edges"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.manifest.n_nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.manifest.n_edges)
+
+    @property
+    def nbytes_on_disk(self) -> int:
+        """Bytes of the two mapped CSR files."""
+        return int(self.indptr.nbytes + self.indices.nbytes)
+
+    def as_csr(self) -> CSRGraph:
+        """A :class:`CSRGraph` over the mapped arrays (no copy)."""
+        return CSRGraph(self.indptr, self.indices, validate=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStore(root={str(self.root)!r}, n_nodes={self.n_nodes}, "
+            f"n_edges={self.n_edges})"
+        )

@@ -1,0 +1,139 @@
+"""Schedule-aware feature prefetch for store-backed training.
+
+Buffalo's scheduler knows every micro-batch's input-node set before the
+first one runs (:meth:`repro.core.scheduler.SchedulePlan
+.input_node_sets`).  For a store-backed dataset that plan is a free
+prefetch oracle: while bucket group ``k`` computes, the rows group
+``k+1`` will gather can already be read off disk into the store's
+staging buffers, hiding shard-read latency behind compute exactly the
+way the pipeline engine hides the host gather.
+
+:class:`SchedulePrefetcher` consumes the per-group *global* input-node
+sets and warms them through :meth:`FeatureStore.prefetch`, at most
+``depth`` groups ahead — the same bounded-queue discipline as
+:mod:`repro.pipeline.engine`'s staging stage, and composable with it:
+when the engine's threaded staging worker gathers a group's features,
+that gather drains the matching staged entry, and the drain releases
+the next prefetch slot (consumption-driven back-pressure).
+
+Correctness is unconditional: staged rows are read through the same
+code path as direct gathers, so training numerics are bit-for-bit
+identical with the prefetcher on, off, threaded, or synchronous.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.obs.metrics import get_metrics
+from repro.store.feature_store import FeatureStore
+
+
+class SchedulePrefetcher:
+    """Warms per-group feature rows ahead of the compute stage.
+
+    Args:
+        store: the feature store to stage into.
+        depth: maximum staged groups resident at once (>= 1).
+        threaded: read ahead on a worker thread (overlaps group ``k``'s
+            compute); ``False`` stages lazily on the caller thread —
+            deterministic, used by the differential tests.
+    """
+
+    def __init__(
+        self, store: FeatureStore, *, depth: int = 2, threaded: bool = True
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        self.store = store
+        self.depth = depth
+        self.threaded = threaded
+        self._sets: list[np.ndarray] = []
+        self._next = 0
+        self._slots: threading.BoundedSemaphore | None = None
+        self._stop = threading.Event()
+        self._worker: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def begin_iteration(self, input_sets: list[np.ndarray]) -> None:
+        """Arm the prefetcher with this iteration's per-group id sets."""
+        self.end_iteration()
+        self._sets = list(input_sets)
+        self._next = 0
+        self._stop = threading.Event()
+        self.store.on_staged_consumed = self._on_consumed
+        get_metrics().counter(
+            "buffalo.store.prefetch_iterations",
+            help="iterations driven by the schedule-aware prefetcher",
+        ).inc()
+        if not self._sets:
+            return
+        if self.threaded:
+            self._slots = threading.BoundedSemaphore(self.depth)
+            self._worker = threading.Thread(
+                target=self._run, name="buffalo-store-prefetch", daemon=True
+            )
+            self._worker.start()
+        else:
+            self._slots = None
+            self._fill_sync()
+
+    def end_iteration(self) -> None:
+        """Stop the worker and drop any unconsumed staged rows."""
+        self._stop.set()
+        if self._slots is not None:
+            # Unblock a worker parked on acquire().
+            try:
+                self._slots.release()
+            except ValueError:  # pragma: no cover - already full
+                pass
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+            self._worker = None
+        if self.store.on_staged_consumed == self._on_consumed:
+            self.store.on_staged_consumed = None
+        self.store.drop_staged()
+        self._sets = []
+        self._slots = None
+
+    # ------------------------------------------------------------------
+    def _fill_sync(self) -> None:
+        """Stage up to ``depth`` groups ahead on the caller thread."""
+        while (
+            self._next < len(self._sets)
+            and self.store.staged_entries < self.depth
+        ):
+            staged = self.store.prefetch(self._sets[self._next])
+            self._next += 1
+            if staged == 0:
+                # Budget pressure: the declined set will be gathered
+                # directly; try the next set on the next consume.
+                break
+
+    def _on_consumed(self) -> None:
+        if self._stop.is_set():
+            return
+        if self.threaded:
+            if self._slots is not None:
+                try:
+                    self._slots.release()
+                except ValueError:  # pragma: no cover - spurious consume
+                    pass
+        else:
+            self._fill_sync()
+
+    def _run(self) -> None:
+        assert self._slots is not None
+        for ids in self._sets:
+            self._slots.acquire()
+            if self._stop.is_set():
+                return
+            if self.store.prefetch(ids) == 0:
+                # Declined for budget: no gather will consume this
+                # entry, so hand the slot back ourselves.
+                try:
+                    self._slots.release()
+                except ValueError:  # pragma: no cover
+                    pass

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.datasets import load
-from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.catalog import Dataset
+from repro.datasets.io import load_dataset, open_dataset, save_dataset
 from repro.errors import DatasetError
 
 
@@ -63,3 +64,111 @@ class TestDatasetIO:
         path = tmp_path / "deep" / "dir" / "d.npz"
         save_dataset(path, original)
         assert path.exists()
+
+
+class TestAtomicSave:
+    def test_no_temp_files_left(self, tmp_path):
+        original = load("cora", scale=0.1, seed=0)
+        save_dataset(tmp_path / "d.npz", original)
+        assert [p.name for p in tmp_path.iterdir()] == ["d.npz"]
+
+    def test_save_over_existing(self, tmp_path):
+        path = tmp_path / "d.npz"
+        a = load("cora", scale=0.1, seed=0)
+        b = load("cora", scale=0.1, seed=1)
+        save_dataset(path, a)
+        save_dataset(path, b)
+        restored = load_dataset(path)
+        np.testing.assert_array_equal(restored.features, b.features)
+        assert [p.name for p in tmp_path.iterdir()] == ["d.npz"]
+
+
+class TestCorruptFiles:
+    def test_truncated_archive_names_path(self, tmp_path):
+        path = tmp_path / "torn.npz"
+        save_dataset(path, load("cora", scale=0.1, seed=0))
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(DatasetError, match="torn.npz"):
+            load_dataset(path)
+
+    def test_garbage_bytes_names_path(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(DatasetError, match="garbage.npz"):
+            load_dataset(path)
+
+    def test_missing_file_names_path(self, tmp_path):
+        with pytest.raises(DatasetError, match="nope.npz"):
+            load_dataset(tmp_path / "nope.npz")
+
+
+class TestRoundTripVariants:
+    def test_directed_graph(self, tmp_path):
+        """ogbn_papers is a directed citation graph; direction survives."""
+        original = load("ogbn_papers", scale=0.01, seed=0)
+        assert original.spec.directed
+        path = tmp_path / "papers.npz"
+        save_dataset(path, original)
+        restored = load_dataset(path)
+        assert restored.spec.directed
+        assert restored.graph == original.graph
+        np.testing.assert_array_equal(restored.labels, original.labels)
+
+    def test_empty_val_test_splits(self, tmp_path):
+        original = load("cora", scale=0.1, seed=0)
+        bare = Dataset(
+            name=original.name,
+            graph=original.graph,
+            features=original.features,
+            labels=original.labels,
+            n_classes=original.n_classes,
+            train_nodes=original.train_nodes,
+            scale=original.scale,
+            spec=original.spec,
+        )
+        assert bare.val_nodes.size == 0 and bare.test_nodes.size == 0
+        path = tmp_path / "bare.npz"
+        save_dataset(path, bare)
+        restored = load_dataset(path)
+        assert restored.val_nodes.size == 0
+        assert restored.test_nodes.size == 0
+        assert restored.val_nodes.dtype == bare.val_nodes.dtype
+
+    def test_gen_params_fidelity(self, tmp_path):
+        original = load("reddit", scale=0.05, seed=3)
+        path = tmp_path / "reddit.npz"
+        save_dataset(path, original)
+        restored = load_dataset(path)
+        assert restored.spec.gen_params == original.spec.gen_params
+        assert restored.spec.base_nodes == original.spec.base_nodes
+        assert restored.spec.generator == original.spec.generator
+        assert restored.spec.paper == original.spec.paper
+        assert restored.scale == original.scale
+
+
+class TestOpenDataset:
+    def test_opens_npz(self, tmp_path):
+        original = load("cora", scale=0.1, seed=0)
+        path = tmp_path / "d.npz"
+        save_dataset(path, original)
+        assert open_dataset(path).graph == original.graph
+
+    def test_opens_catalog_name(self):
+        ds = open_dataset("cora", scale=0.1, seed=0)
+        assert ds.name == "cora"
+
+    def test_opens_store_dir(self, tmp_path):
+        from repro.store import build_store
+
+        original = load("cora", scale=0.1, seed=0)
+        dest = tmp_path / "cora.store"
+        build_store(original, dest)
+        assert open_dataset(dest).graph == original.graph
+
+    def test_plain_dir_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="manifest"):
+            open_dataset(tmp_path)
+
+    def test_missing_pathlike_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            open_dataset(tmp_path / "gone.npz")

@@ -152,3 +152,75 @@ class TestPinning:
         _, cache = make_cache(capacity_rows=4)
         cache.unpin(np.array([99]))  # never pinned
         assert cache.pinned_rows == 0
+
+
+class TestStoreBackedCache:
+    """Device cache fronting an out-of-core FeatureStore.
+
+    The two caches are independent tiers: the device cache pins rows a
+    later bucket group reuses, the store's hot-node cache holds the
+    popularity head on the host.  A row can be pinned on the device yet
+    absent from (or dropped by) the store's hot cache — the store must
+    still serve its bytes from shards, bit-for-bit.
+    """
+
+    @pytest.fixture()
+    def store_and_ref(self, tmp_path):
+        from repro.datasets import load
+        from repro.store import FeatureStore, build_store
+
+        dataset = load("cora", scale=0.1, seed=0)
+        root = tmp_path / "cora.store"
+        build_store(dataset, root, shard_rows=32)
+        # Hot cache holds only the 8 most popular rows.
+        store = FeatureStore(root, hot_cache_bytes=8 * dataset.feat_dim * 4)
+        return store, np.asarray(dataset.features)
+
+    def test_pinned_row_outside_hot_cache_served_from_shards(
+        self, store_and_ref
+    ):
+        store, ref = store_and_ref
+        # A row the hot cache does NOT hold.
+        cold = int(np.flatnonzero(store._hot_slot < 0)[0])
+        device, cache = make_cache(
+            capacity_rows=4, feat_bytes=store.row_bytes
+        )
+        assert cache.pin(np.array([cold])) == 1
+        cache.load(np.array([cold]))  # transfer charged once
+        before = store.disk_rows
+        row = store.gather(np.array([cold]))
+        np.testing.assert_array_equal(row[0], ref[cold])
+        assert store.disk_rows == before + 1  # shards, not hot cache
+        # Device-side the row stays resident under LRU pressure.
+        cache.load(np.arange(1000, 1010))
+        assert cold in cache._resident
+
+    def test_row_dropped_from_hot_cache_still_correct(self, store_and_ref):
+        store, ref = store_and_ref
+        hot = int(np.flatnonzero(store._hot_slot >= 0)[0])
+        device, cache = make_cache(
+            capacity_rows=4, feat_bytes=store.row_bytes
+        )
+        cache.pin(np.array([hot]))
+        cache.load(np.array([hot]))
+        # The host hot cache is torn down (e.g. budget shrink); the
+        # pinned device row's source of truth falls back to shards.
+        store.close()
+        row = store.gather(np.array([hot]))
+        np.testing.assert_array_equal(row[0], ref[hot])
+        assert hot in cache._resident  # pin survived independently
+
+    def test_tiers_count_independently(self, store_and_ref):
+        store, ref = store_and_ref
+        hot = int(np.flatnonzero(store._hot_slot >= 0)[0])
+        device, cache = make_cache(
+            capacity_rows=8, feat_bytes=store.row_bytes
+        )
+        cache.load(np.array([hot]))
+        cache.load(np.array([hot]))
+        assert cache.hits == 1 and cache.misses == 1
+        store.gather(np.array([hot]))
+        assert store.hot_hits == 1
+        np.testing.assert_array_equal(
+            store.gather(np.array([hot]))[0], ref[hot]
+        )

@@ -1,0 +1,19 @@
+"""Shared fixtures for the store test suite."""
+
+import pytest
+
+from repro.datasets import load
+from repro.store import build_store
+
+
+@pytest.fixture(scope="session")
+def cora():
+    return load("cora", scale=0.2, seed=0)
+
+
+@pytest.fixture()
+def cora_store(tmp_path, cora):
+    """A freshly built store of the session's cora instance."""
+    dest = tmp_path / "cora.store"
+    build_store(cora, dest, shard_rows=64)
+    return dest

@@ -1,0 +1,74 @@
+"""GraphStore: the mmap-backed CSR serves the exact same graph surface."""
+
+import numpy as np
+import pytest
+
+from repro.core.fastblock import generate_blocks_fast
+from repro.errors import DatasetError
+from repro.graph.sampling import sample_batch
+from repro.store import GraphStore, open_store_dataset
+
+
+class TestGraphStore:
+    def test_csr_equals_original(self, cora_store, cora):
+        graph = GraphStore(cora_store).as_csr()
+        assert graph == cora.graph
+        assert graph.n_nodes == cora.graph.n_nodes
+        assert graph.n_edges == cora.graph.n_edges
+
+    def test_arrays_are_memory_mapped(self, cora_store):
+        gs = GraphStore(cora_store)
+        assert isinstance(gs.indptr, np.memmap)
+        assert isinstance(gs.indices, np.memmap)
+        assert gs.nbytes_on_disk == gs.indptr.nbytes + gs.indices.nbytes
+
+    def test_neighbor_access(self, cora_store, cora):
+        graph = GraphStore(cora_store).as_csr()
+        for node in (0, 17, cora.n_nodes - 1):
+            np.testing.assert_array_equal(
+                graph.neighbors(node), cora.graph.neighbors(node)
+            )
+        np.testing.assert_array_equal(graph.degrees, cora.graph.degrees)
+
+    def test_block_generation_runs_on_mmap(self, cora_store, cora):
+        """Sampling + fast block generation never materialize the CSR."""
+        mapped = GraphStore(cora_store).as_csr()
+        seeds = cora.train_nodes[:25]
+        batch_mem = sample_batch(cora.graph, seeds, [4, 4], rng=3)
+        batch_map = sample_batch(mapped, seeds, [4, 4], rng=3)
+        blocks_mem = generate_blocks_fast(batch_mem)
+        blocks_map = generate_blocks_fast(batch_map)
+        assert len(blocks_mem) == len(blocks_map)
+        for a, b in zip(blocks_mem, blocks_map):
+            np.testing.assert_array_equal(a.src_nodes, b.src_nodes)
+            np.testing.assert_array_equal(a.indptr, b.indptr)
+            np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_truncated_graph_file_rejected(self, cora_store):
+        victim = cora_store / "graph.indices.npy"
+        victim.write_bytes(victim.read_bytes()[:-16])
+        with pytest.raises(DatasetError, match="truncated"):
+            GraphStore(cora_store)
+
+
+class TestOpenStoreDataset:
+    def test_full_dataset_roundtrip(self, cora_store, cora):
+        restored = open_store_dataset(cora_store, verify=True)
+        assert restored.name == cora.name
+        assert restored.graph == cora.graph
+        assert restored.n_classes == cora.n_classes
+        assert restored.scale == cora.scale
+        assert restored.spec == cora.spec
+        np.testing.assert_array_equal(restored.labels, cora.labels)
+        np.testing.assert_array_equal(restored.train_nodes, cora.train_nodes)
+        np.testing.assert_array_equal(restored.val_nodes, cora.val_nodes)
+        np.testing.assert_array_equal(restored.test_nodes, cora.test_nodes)
+        assert restored.feat_dim == cora.feat_dim
+
+    def test_verify_catches_corruption(self, cora_store):
+        victim = cora_store / "features" / "shard-00001.npy"
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 1
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(DatasetError, match="CRC"):
+            open_store_dataset(cora_store, verify=True)

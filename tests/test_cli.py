@@ -230,3 +230,153 @@ class TestExperiment:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStoreCommands:
+    def _build(self, tmp_path, capsys):
+        dest = tmp_path / "cora.store"
+        assert (
+            main(
+                [
+                    "store",
+                    "build",
+                    "cora",
+                    str(dest),
+                    "--scale",
+                    "0.1",
+                    "--shard-rows",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        return dest
+
+    def test_build_and_info(self, capsys, tmp_path):
+        dest = self._build(tmp_path, capsys)
+        out = capsys.readouterr().out
+        assert "built store" in out
+        assert main(["store", "info", str(dest), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "checksums: verified" in out
+        assert "cora" in out
+
+    def test_info_json(self, capsys, tmp_path):
+        import json
+
+        dest = self._build(tmp_path, capsys)
+        capsys.readouterr()
+        assert main(["store", "info", str(dest), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["dataset"] == "cora"
+        assert info["n_shards"] >= 1
+
+    def test_build_from_npz(self, capsys, tmp_path):
+        from repro.datasets import load, save_dataset
+
+        save_dataset(tmp_path / "d.npz", load("cora", scale=0.1, seed=0))
+        dest = tmp_path / "d.store"
+        assert main(["store", "build", str(tmp_path / "d.npz"), str(dest)]) == 0
+
+    def test_train_with_data_store(self, capsys, tmp_path):
+        dest = self._build(tmp_path, capsys)
+        code = main(
+            [
+                "train",
+                "--data-store",
+                str(dest),
+                "--epochs",
+                "1",
+                "--batch-size",
+                "20",
+                "--fanouts",
+                "4,4",
+                "--hot-cache-mb",
+                "0.01",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "feature store:" in out
+        assert "hot-cache hit rate" in out
+
+
+class TestFriendlyErrors:
+    """Bad inputs exit with a one-line message, not a traceback."""
+
+    def test_nonexistent_store_path(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such dataset store"):
+            main(
+                [
+                    "train",
+                    "--data-store",
+                    str(tmp_path / "missing.store"),
+                    "--epochs",
+                    "1",
+                ]
+            )
+
+    def test_dir_that_is_not_a_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a dataset store"):
+            main(
+                ["train", "--data-store", str(tmp_path), "--epochs", "1"]
+            )
+
+    def test_store_build_missing_source_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such dataset file"):
+            main(
+                [
+                    "store",
+                    "build",
+                    str(tmp_path / "missing.npz"),
+                    str(tmp_path / "out.store"),
+                ]
+            )
+
+    def test_store_info_missing_path(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such dataset store"):
+            main(["store", "info", str(tmp_path / "missing.store")])
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [
+            ("--budget-gb", "0"),
+            ("--budget-gb", "-1"),
+            ("--feature-cache-bytes", "0"),
+            ("--feature-cache-bytes", "-5"),
+            ("--hot-cache-mb", "-0.5"),
+            ("--host-budget-mb", "0"),
+        ],
+    )
+    def test_non_positive_budgets_exit(self, flag, value):
+        with pytest.raises(SystemExit, match="must be positive") as excinfo:
+            main(
+                [
+                    "train",
+                    "--dataset",
+                    "cora",
+                    "--scale",
+                    "0.1",
+                    "--epochs",
+                    "1",
+                    flag,
+                    value,
+                ]
+            )
+        msg = str(excinfo.value)
+        assert flag in msg and value in msg
+        assert "\n" not in msg  # one-line, friendly
+
+    def test_schedule_non_positive_budget(self):
+        with pytest.raises(SystemExit, match="must be positive"):
+            main(
+                [
+                    "schedule",
+                    "--dataset",
+                    "cora",
+                    "--scale",
+                    "0.1",
+                    "--budget-gb",
+                    "0",
+                ]
+            )
