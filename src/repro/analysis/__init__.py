@@ -1,0 +1,51 @@
+"""``repro.analysis`` — project-aware static analysis for the Buffalo
+pipeline.
+
+Two halves (ISSUE 4):
+
+* **Lint framework** — an AST-based rule engine
+  (:mod:`repro.analysis.framework`) with a rule registry, per-line
+  ``# repro: noqa[rule]`` suppression, ``pyproject.toml`` configuration,
+  text/JSON reporters, a committed baseline for grandfathered findings,
+  and a content-hash cache so unchanged files are never re-parsed.  The
+  domain rules (:mod:`repro.analysis.rules`) encode the paper's
+  invariants: bit-for-bit determinism in parity-critical modules, no
+  silent materialization of memmap-backed store arrays, span hygiene,
+  a closed metric-name registry, float32 discipline in hot paths, and
+  path-bearing store/dataset errors.
+* **Concurrency checks** — a static lock-discipline pass
+  (:mod:`repro.analysis.rules.lockcheck`) that builds a lock-acquisition
+  graph over the threaded pipeline/store layers and flags unguarded
+  writes to lock-protected attributes, plus the opt-in runtime
+  :class:`~repro.analysis.race.RaceSentinel` that the threaded tests
+  enable to catch unsynchronized cross-thread mutation as it happens.
+
+Entry points: ``repro lint`` (CLI) and :func:`repro.analysis.runner.run_lint`.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    FileContext,
+    LintRule,
+    all_rules,
+    get_rule,
+    register_rule,
+    rule_names,
+)
+from repro.analysis.race import RaceError, RaceSentinel, TrackedLock
+from repro.analysis.runner import LintResult, run_lint
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "LintRule",
+    "RaceError",
+    "RaceSentinel",
+    "TrackedLock",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "rule_names",
+    "run_lint",
+]

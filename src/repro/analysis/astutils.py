@@ -1,0 +1,101 @@
+"""Shared AST helpers: import-alias resolution and node utilities.
+
+The domain rules all need the same primitive: "does this expression
+refer to ``numpy.random.default_rng`` / ``time.time`` / ``DatasetError``
+regardless of how the module imported it?"  :class:`ImportMap` records
+every binding an ``import`` statement creates and resolves attribute
+chains back to canonical dotted names, so ``_np.random.default_rng``,
+``np.random.default_rng``, and ``from numpy.random import default_rng``
+all resolve identically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap", "dotted_name", "is_self_attr", "walk_parents"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_self_attr(node: ast.AST) -> str | None:
+    """``attr`` when ``node`` is ``self.attr``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class ImportMap:
+    """Local name -> canonical dotted path, built from import statements.
+
+    * ``import numpy as np``                → ``np -> numpy``
+    * ``import numpy.random``              → ``numpy -> numpy``
+    * ``from numpy import random``         → ``random -> numpy.random``
+    * ``from numpy.random import default_rng as rng``
+                                           → ``rng -> numpy.random.default_rng``
+
+    Relative imports resolve against ``package`` when given (e.g.
+    ``from .layout import load_mapped`` inside ``repro.store`` becomes
+    ``repro.store.layout.load_mapped``).
+    """
+
+    def __init__(self, tree: ast.AST, package: str = "") -> None:
+        self.aliases: dict[str, str] = {}
+        self.package = package
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # `import a.b.c` binds `a` to the root module.
+                        root = alias.name.split(".", 1)[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level:
+                    parts = self.package.split(".") if self.package else []
+                    parts = parts[: len(parts) - (node.level - 1)]
+                    if module:
+                        parts.append(module)
+                    module = ".".join(parts)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    full = f"{module}.{alias.name}" if module else alias.name
+                    self.aliases[local] = full
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted path of an expression, if import-rooted."""
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        base = self.aliases.get(head)
+        if base is None:
+            return None
+        return f"{base}.{rest}" if rest else base
+
+
+def walk_parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent map for one tree (single O(n) walk)."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents

@@ -1,0 +1,106 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the CI gate turn red only on *new* findings: existing
+violations are recorded once (``repro lint --write-baseline``),
+committed, and subtracted from later runs.  Matching is by
+location-insensitive key (rule, path, message) with multiset semantics,
+so fixing one of two identical findings in a file retires exactly one
+entry — and a baseline entry whose finding disappeared is reported as
+*stale* so the file shrinks monotonically instead of rotting.
+
+Policy (enforced by ``tests/analysis/test_baseline_policy.py``): the
+``no-nondeterminism`` and ``span-leak`` rules may never be baselined —
+Algorithm 2 parity bugs don't get grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import AnalysisError
+
+__all__ = [
+    "BASELINE_VERSION",
+    "NEVER_BASELINE",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: Rules whose findings must be fixed or suppressed, never grandfathered.
+NEVER_BASELINE = frozenset({"no-nondeterminism", "span-leak"})
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Multiset of baseline keys; empty when the file doesn't exist."""
+    path = Path(path)
+    if not path.is_file():
+        return Counter()
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"corrupt lint baseline {path}: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"{path}: unsupported baseline version {raw.get('version')!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    baseline: Counter = Counter()
+    for entry in raw.get("findings", []):
+        key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+        if key[0] in NEVER_BASELINE:
+            raise AnalysisError(
+                f"{path}: rule {key[0]!r} findings may not be baselined "
+                f"(fix or suppress with an annotated noqa instead)"
+            )
+        baseline[key] += int(entry.get("count", 1))
+    return baseline
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> int:
+    """Write current findings as the new baseline; returns entry count.
+
+    Findings of :data:`NEVER_BASELINE` rules are refused — they must be
+    fixed before a baseline can be written.
+    """
+    blocked = sorted({f.rule for f in findings if f.rule in NEVER_BASELINE})
+    if blocked:
+        raise AnalysisError(
+            f"cannot baseline findings of rule(s) {', '.join(blocked)}; "
+            f"fix them or add annotated '# repro: noqa[...]' suppressions"
+        )
+    counts = Counter(f.baseline_key() for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": rel, "message": message, "count": count}
+            for (rule, rel, message), count in sorted(counts.items())
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return sum(counts.values())
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], int, list[tuple[str, str, str]]]:
+    """Split findings into (new, grandfathered-count, stale-keys)."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered = 0
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered += 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return new, grandfathered, stale

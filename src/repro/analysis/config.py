@@ -1,0 +1,117 @@
+"""Lint configuration: built-in defaults, overridable in ``pyproject.toml``.
+
+The ``[tool.repro.lint]`` table controls what gets linted::
+
+    [tool.repro.lint]
+    paths = ["src/repro"]           # roots to walk (repo-relative)
+    exclude = ["src/repro/bench"]   # pruned subtrees/files
+    select = []                     # empty = every registered rule
+    baseline = "lint-baseline.json" # grandfathered findings
+    cache = ".repro-lint-cache.json"
+
+    [tool.repro.lint.scopes]        # per-rule path scopes (override
+    dtype-promotion = ["src/repro/core", "src/repro/gnn"]  # rule defaults)
+
+Rule *scopes* are path prefixes (or exact files) a rule applies to;
+each rule ships a default scope encoding which Buffalo invariant it
+protects (see ``docs/analysis.md``), and the table above can widen or
+narrow it without touching code.
+
+``tomllib`` ships with Python 3.11+; on 3.10 (no tomllib, no vendored
+parser — this repo adds no dependencies) the built-in defaults are used
+and a note is attached to :attr:`LintConfig.notes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["LintConfig", "load_config", "DEFAULT_BASELINE", "DEFAULT_CACHE"]
+
+DEFAULT_PATHS = ("src/repro",)
+DEFAULT_BASELINE = "lint-baseline.json"
+DEFAULT_CACHE = ".repro-lint-cache.json"
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint settings for one repository root."""
+
+    root: Path
+    paths: tuple[str, ...] = DEFAULT_PATHS
+    exclude: tuple[str, ...] = ()
+    select: tuple[str, ...] = ()
+    baseline: str = DEFAULT_BASELINE
+    cache: str = DEFAULT_CACHE
+    scopes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    notes: tuple[str, ...] = ()
+
+    def scope_for(self, rule_name: str, default: tuple[str, ...]) -> tuple[str, ...]:
+        """Configured scope of ``rule_name``, or the rule's default."""
+        return self.scopes.get(rule_name, default)
+
+    def in_scope(self, relpath: str, prefixes: tuple[str, ...]) -> bool:
+        """True when ``relpath`` is under any of ``prefixes``."""
+        return any(
+            relpath == p or relpath.startswith(p.rstrip("/") + "/")
+            for p in prefixes
+        )
+
+    def excluded(self, relpath: str) -> bool:
+        return self.in_scope(relpath, self.exclude)
+
+
+def _as_str_tuple(value, context: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(v, str) for v in value
+    ):
+        raise ValueError(f"{context} must be a list of strings, got {value!r}")
+    return tuple(value)
+
+
+def load_config(root: str | Path) -> LintConfig:
+    """Read ``[tool.repro.lint]`` from ``<root>/pyproject.toml``.
+
+    Missing file/table/interpreter-TOML-support all fall back to the
+    defaults; malformed values raise ``ValueError`` (a misconfigured
+    gate must fail loudly, not lint the wrong tree silently).
+    """
+    root = Path(root)
+    config = LintConfig(root=root)
+    pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return config
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python 3.10 fallback
+        config.notes = (
+            "tomllib unavailable (Python < 3.11); using built-in defaults",
+        )
+        return config
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("repro", {}).get("lint", {})
+    if not table:
+        return config
+    if "paths" in table:
+        config.paths = _as_str_tuple(table["paths"], "tool.repro.lint.paths")
+    if "exclude" in table:
+        config.exclude = _as_str_tuple(
+            table["exclude"], "tool.repro.lint.exclude"
+        )
+    if "select" in table:
+        config.select = _as_str_tuple(table["select"], "tool.repro.lint.select")
+    if "baseline" in table:
+        config.baseline = str(table["baseline"])
+    if "cache" in table:
+        config.cache = str(table["cache"])
+    scopes = table.get("scopes", {})
+    if scopes:
+        if not isinstance(scopes, dict):
+            raise ValueError("tool.repro.lint.scopes must be a table")
+        config.scopes = {
+            rule: _as_str_tuple(paths, f"tool.repro.lint.scopes.{rule}")
+            for rule, paths in scopes.items()
+        }
+    return config

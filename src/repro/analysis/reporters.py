@@ -1,0 +1,79 @@
+"""Lint output: human text and machine JSON.
+
+The JSON document is a stable contract (version field, documented in
+``docs/analysis.md`` and validated by
+``tests/analysis/test_reporters.py::test_json_schema``)::
+
+    {
+      "version": 1,
+      "ok": false,
+      "rules": ["dtype-promotion", ...],
+      "files_checked": 120,
+      "cache_hits": 118,
+      "suppressed": 3,
+      "grandfathered": 0,
+      "stale_baseline": [{"rule": ..., "path": ..., "message": ...}],
+      "findings": [            // NEW findings only (the gate)
+        {"path": "src/repro/x.py", "line": 10, "col": 4,
+         "rule": "span-leak", "message": "..."}
+      ],
+      "all_findings": [...]    // including grandfathered, same shape
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import LintResult
+
+__all__ = ["REPORT_VERSION", "render_text", "render_json"]
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """One ``file:line:col: rule: message`` line per new finding."""
+    lines = [f.render() for f in result.new_findings]
+    if result.stale_baseline:
+        lines.append("")
+        lines.append(
+            f"stale baseline entries ({len(result.stale_baseline)}) — "
+            f"rerun with --write-baseline to shrink the baseline:"
+        )
+        lines.extend(
+            f"  {rule}: {path}: {message}"
+            for rule, path, message in result.stale_baseline
+        )
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    summary = (
+        f"{len(result.new_findings)} finding(s) "
+        f"({result.grandfathered} grandfathered, "
+        f"{result.suppressed} suppressed) in {result.files_checked} file(s)"
+    )
+    if verbose:
+        summary += (
+            f"; {result.cache_hits} cached; rules: {', '.join(result.rules)}"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": REPORT_VERSION,
+        "ok": result.ok,
+        "rules": list(result.rules),
+        "files_checked": result.files_checked,
+        "cache_hits": result.cache_hits,
+        "suppressed": result.suppressed,
+        "grandfathered": result.grandfathered,
+        "stale_baseline": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in result.stale_baseline
+        ],
+        "findings": [f.to_dict() for f in result.new_findings],
+        "all_findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

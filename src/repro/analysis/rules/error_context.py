@@ -1,0 +1,89 @@
+"""``error-context``: store/dataset errors must name the offending path.
+
+The store layer's whole error story is "a torn or corrupt store is
+detected and *pinpointed*" — a :class:`~repro.errors.DatasetError` or
+:class:`~repro.errors.StoreError` that doesn't say *which* file/
+directory failed sends the operator grepping.  Every ``raise`` of these
+types in path-handling code must interpolate a path-like value into the
+message (an identifier containing ``path``/``root``/``file``/``dest``/
+``source``/``dir``/``rel``/``shard``, e.g. an f-string placeholder).
+
+Scope: the store layer and dataset file I/O — code that *has* a path in
+hand.  Parameter-validation errors elsewhere (unknown dataset *names*
+etc.) are out of scope by design.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileContext, LintRule, register_rule
+
+_ERROR_NAMES = frozenset({"DatasetError", "StoreError"})
+
+_PATHY = ("path", "root", "file", "dest", "source", "dir", "rel", "shard")
+
+
+def _identifiers(node: ast.AST) -> set[str]:
+    """Every Name id and Attribute attr mentioned under ``node``."""
+    out: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            out.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            out.add(child.attr)
+    return out
+
+
+def _mentions_path(call: ast.Call) -> bool:
+    for arg in list(call.args) + [k.value for k in call.keywords]:
+        for ident in _identifiers(arg):
+            lowered = ident.lower()
+            if any(p in lowered for p in _PATHY):
+                return True
+    return False
+
+
+@register_rule
+class ErrorContextRule(LintRule):
+    name = "error-context"
+    description = (
+        "DatasetError/StoreError raises in path-handling code must name "
+        "the offending path"
+    )
+    invariant = (
+        "a torn or corrupt store must be pinpointed to a file, not "
+        "reported as an anonymous failure"
+    )
+    default_scopes = ("src/repro/store", "src/repro/datasets/io.py")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if not isinstance(exc, ast.Call):
+                continue  # re-raise of a caught instance
+            func = exc.func
+            error_name = None
+            if isinstance(func, ast.Name) and func.id in _ERROR_NAMES:
+                error_name = func.id
+            elif (
+                isinstance(func, ast.Attribute) and func.attr in _ERROR_NAMES
+            ):
+                error_name = func.attr
+            if error_name is None:
+                continue
+            if not exc.args or not _mentions_path(exc):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"{error_name} message does not name the offending "
+                        f"path; interpolate the file/directory (e.g. "
+                        f"f'{{path}}: ...')",
+                    )
+                )
+        return findings

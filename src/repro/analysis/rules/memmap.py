@@ -1,0 +1,165 @@
+"""``memmap-copy``: never silently materialize memmap-backed arrays.
+
+The store serves the CSR graph and the feature shards as read-only
+``np.memmap`` views precisely so opening a 100-GB dataset costs no host
+RAM (PR 3).  One careless ``np.array(...)`` / ``.copy()`` /
+``.astype(...)`` on such an array reads the whole file into memory —
+the memory savings the Eq. 1–2 estimator accounts for evaporate
+without any test noticing (correctness is unchanged!).  This rule
+taints values that come from the mapped loaders and flags whole-array
+materialization idioms on them.
+
+Taint sources (intra-module, assignment-following):
+
+* calls resolving to ``repro.store.layout.load_mapped`` or
+  ``numpy.load`` with ``mmap_mode=``;
+* ``self._shard(...)`` (FeatureStore's lazily mapped shards);
+* reads of ``.indptr`` / ``.indices`` attributes (GraphStore's mapped
+  CSR arrays);
+* subscripts/attributes of tainted values (a slice of a memmap is
+  still a memmap).
+
+Flagged sinks on tainted values: ``np.array(x)`` (copy=True default),
+``np.asarray(x, dtype=...)`` / ``np.ascontiguousarray(x, dtype=...)``
+(dtype conversion forces a copy; the plain form is a view and allowed),
+``np.sort(x)``, ``x.copy()``, ``x.astype(...)``, ``x.tolist()``.
+
+Deliberate, *bounded* materializations (e.g. the hot-cache warm-up)
+carry an annotated ``# repro: noqa[memmap-copy]`` explaining the bound.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileContext, LintRule, register_rule
+
+_MAPPED_ATTRS = frozenset({"indptr", "indices"})
+
+_COPYING_METHODS = frozenset({"copy", "astype", "tolist"})
+
+_COPYING_CALLS = frozenset({"numpy.array", "numpy.sort"})
+
+_VIEW_UNLESS_DTYPE = frozenset({"numpy.asarray", "numpy.ascontiguousarray"})
+
+
+def _is_taint_source(node: ast.Call, ctx: FileContext) -> bool:
+    resolved = ctx.imports.resolve(node.func)
+    if resolved == "repro.store.layout.load_mapped":
+        return True
+    if resolved == "numpy.load" and any(
+        k.arg == "mmap_mode" for k in node.keywords
+    ):
+        return True
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "_shard"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return True
+    return False
+
+
+class _TaintTracker(ast.NodeVisitor):
+    """Collects tainted local names per lexical function scope."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.tainted: set[str] = set()
+
+    def is_tainted(self, node: ast.AST) -> bool:
+        # Unwrap subscripts/attributes: order[:n] of a memmap is still
+        # a memmap; obj.indptr is a mapped array by convention.
+        while isinstance(node, (ast.Subscript, ast.Starred)):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            if node.attr in _MAPPED_ATTRS:
+                return True
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Call):
+            return _is_taint_source(node, self.ctx)
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if self.is_tainted(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.tainted.add(target.id)
+
+
+@register_rule
+class MemmapCopyRule(LintRule):
+    name = "memmap-copy"
+    description = (
+        "flags whole-array materialization of memmap-backed store arrays"
+    )
+    invariant = (
+        "the out-of-core store must never silently read a whole mapped "
+        "file into host RAM; that erases the paper's memory savings"
+    )
+    default_scopes = ("src/repro/store", "src/repro/core/fastblock.py")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        # Two passes: collect taints (assignments may precede or follow
+        # use sites textually within a function; one extra pass reaches
+        # the fixpoint for straight-line store code).
+        tracker = _TaintTracker(ctx)
+        for _ in range(2):
+            tracker.visit(ctx.tree)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved in _COPYING_CALLS and node.args:
+                if tracker.is_tainted(node.args[0]):
+                    short = resolved.replace("numpy.", "np.")
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"{short}(...) copies a memmap-backed array "
+                            f"into host RAM; operate on the view or slice "
+                            f"first",
+                        )
+                    )
+                continue
+            if resolved in _VIEW_UNLESS_DTYPE and node.args:
+                has_dtype = any(k.arg == "dtype" for k in node.keywords) or (
+                    len(node.args) > 1
+                )
+                if has_dtype and tracker.is_tainted(node.args[0]):
+                    short = resolved.replace("numpy.", "np.")
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"{short}(..., dtype=...) on a memmap-backed "
+                            f"array forces a full copy; slice before "
+                            f"converting",
+                        )
+                    )
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _COPYING_METHODS
+                and tracker.is_tainted(func.value)
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f".{func.attr}() materializes a memmap-backed "
+                        f"array in host RAM; gather the needed rows "
+                        f"instead",
+                    )
+                )
+        return findings

@@ -1,0 +1,67 @@
+"""``metric-name``: every emitted ``buffalo.*`` metric is registered.
+
+Dashboards, the metrics snapshot diff in CI, and the estimator-accuracy
+telemetry all key on metric names.  A typo'd or ad-hoc name silently
+forks a time series, so every ``buffalo.*`` string passed to
+``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` must appear in
+the closed registry :data:`repro.obs.schema.METRIC_NAMES` — adding a
+metric means adding its name (and help text) there first, which keeps
+``docs/observability.md`` and consumers in sync.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileContext, LintRule, register_rule
+
+_EMITTERS = frozenset({"counter", "gauge", "histogram"})
+
+
+@register_rule
+class MetricNameRule(LintRule):
+    name = "metric-name"
+    description = (
+        "buffalo.* metric names must exist in repro.obs.schema.METRIC_NAMES"
+    )
+    invariant = (
+        "metrics snapshots are a stable contract; unregistered names "
+        "fork time series and break consumers silently"
+    )
+    default_scopes = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        # Imported lazily: rules must stay importable even while the
+        # target package is mid-refactor.
+        from repro.obs.schema import METRIC_NAMES
+
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _EMITTERS
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                continue
+            metric = first.value
+            if not metric.startswith("buffalo."):
+                continue
+            if metric not in METRIC_NAMES:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"metric {metric!r} is not registered in "
+                        f"repro.obs.schema.METRIC_NAMES; register it "
+                        f"(with help text) before emitting",
+                    )
+                )
+        return findings

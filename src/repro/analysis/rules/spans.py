@@ -1,0 +1,77 @@
+"""``span-leak``: every ``Tracer.span(...)`` must be context-managed.
+
+A :class:`repro.obs.trace.Span` only emits its event (and pops the
+tracer's thread-local stack) in ``__exit__``.  A span created but never
+entered/exited silently corrupts the nesting of every later span on
+that thread — the trace summarizer then mis-attributes child time.  So
+``.span(...)`` results must be used as context managers: either
+directly (``with tracer.span(...) as s:``) or assigned to a name that
+is the context expression of a ``with`` statement (the
+``Profiler.phase`` pattern: ``span = get_tracer().span(...)`` …
+``with span:``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileContext, LintRule, register_rule
+
+
+@register_rule
+class SpanLeakRule(LintRule):
+    name = "span-leak"
+    description = (
+        "Tracer.span(...) results must be used as context managers"
+    )
+    invariant = (
+        "span events are only emitted on __exit__; a leaked span "
+        "corrupts the thread's span nesting and the trace summary"
+    )
+    default_scopes = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        direct: set[int] = set()      # Call nodes used as `with <call>:`
+        with_names: set[str] = set()  # names used as `with <name>:`
+        assigned_to: dict[int, str] = {}  # Call id -> assigned name
+        span_calls: list[ast.Call] = []
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call):
+                        direct.add(id(expr))
+                    elif isinstance(expr, ast.Name):
+                        with_names.add(expr.id)
+            elif (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                assigned_to[id(node.value)] = node.targets[0].id
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+            ):
+                span_calls.append(node)
+
+        findings: list[Finding] = []
+        for call in span_calls:
+            if id(call) in direct:
+                continue
+            if assigned_to.get(id(call)) in with_names:
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    call,
+                    "Tracer.span(...) result is not used as a context "
+                    "manager; the span never emits and corrupts span "
+                    "nesting",
+                )
+            )
+        return findings

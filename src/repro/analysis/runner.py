@@ -1,0 +1,200 @@
+"""Lint orchestration: walk files, run rules, cache, baseline, report.
+
+:func:`run_lint` is the single entry point shared by the CLI and the
+tests.  Per file it runs only the rules whose (possibly configured)
+scope covers the file, applies ``# repro: noqa`` suppressions, and
+consults the content-hash cache; the committed baseline is subtracted
+at the end, so :attr:`LintResult.new_findings` is exactly what the CI
+gate fails on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.cache import LintCache, file_key
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    AnalysisError,
+    FileContext,
+    LintRule,
+    all_rules,
+    get_rule,
+)
+
+__all__ = ["LintResult", "run_lint", "iter_source_files"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: post-suppression findings, including grandfathered
+            ones (sorted by location).
+        new_findings: findings not covered by the baseline — the gate.
+        grandfathered: count of findings matched by baseline entries.
+        stale_baseline: baseline keys whose finding no longer occurs.
+        suppressed: count of findings silenced by noqa markers.
+        files_checked: number of files linted (cache hits included).
+        cache_hits: files served from the content-hash cache.
+        rules: names of the rules that ran.
+        notes: non-fatal configuration notes.
+        config: the resolved configuration the run used.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    new_findings: list[Finding] = field(default_factory=list)
+    grandfathered: int = 0
+    stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    cache_hits: int = 0
+    rules: tuple[str, ...] = ()
+    notes: tuple[str, ...] = ()
+    config: LintConfig | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the gate passes (no new findings)."""
+        return not self.new_findings
+
+
+def iter_source_files(config: LintConfig) -> list[Path]:
+    """Every ``.py`` file under the configured paths, minus excludes."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for entry in config.paths:
+        base = config.root / entry
+        if base.is_file():
+            candidates = [base]
+        elif base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            raise AnalysisError(f"lint path does not exist: {base}")
+        for path in candidates:
+            rel = path.relative_to(config.root).as_posix()
+            if config.excluded(rel) or path in seen:
+                continue
+            seen.add(path)
+            out.append(path)
+    return out
+
+
+def _lint_one(
+    path: Path,
+    relpath: str,
+    rules: list[LintRule],
+    config: LintConfig,
+) -> tuple[list[Finding], int]:
+    """Lint one file; returns (kept findings, suppressed count)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="parse-error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    ctx = FileContext(
+        path=path, relpath=relpath, source=source, tree=tree, config=config
+    )
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(ctx))
+    kept = [f for f in raw if not ctx.suppressions.suppresses(f)]
+    return sorted(kept), len(raw) - len(kept)
+
+
+def run_lint(
+    root: str | Path,
+    *,
+    paths: list[str] | None = None,
+    rules: list[str] | None = None,
+    config: LintConfig | None = None,
+    baseline_path: str | None = None,
+    use_cache: bool = True,
+    use_baseline: bool = True,
+) -> LintResult:
+    """Lint the repository at ``root``; see :class:`LintResult`.
+
+    Args:
+        root: repository root (where ``pyproject.toml`` lives).
+        paths: override the configured lint roots (repo-relative).
+        rules: run only these rule names (default: config ``select``,
+            else every registered rule).
+        config: pre-built configuration (tests); read from
+            ``pyproject.toml`` when omitted.
+        baseline_path: override the configured baseline file.
+        use_cache: consult/update the content-hash cache file.
+        use_baseline: subtract the committed baseline from the gate.
+    """
+    config = config or load_config(root)
+    if paths:
+        config.paths = tuple(paths)
+    if baseline_path:
+        config.baseline = baseline_path
+    selected = rules if rules is not None else list(config.select)
+    active = (
+        [get_rule(name) for name in selected] if selected else all_rules()
+    )
+    active.sort(key=lambda r: r.name)
+
+    result = LintResult(
+        rules=tuple(r.name for r in active),
+        notes=config.notes,
+        config=config,
+    )
+    cache = LintCache(config.root / config.cache, enabled=use_cache)
+    live: set[str] = set()
+
+    for path in iter_source_files(config):
+        relpath = path.relative_to(config.root).as_posix()
+        live.add(relpath)
+        applicable = [
+            r
+            for r in active
+            if config.in_scope(
+                relpath, config.scope_for(r.name, r.default_scopes)
+            )
+        ]
+        result.files_checked += 1
+        if not applicable:
+            continue
+        key = file_key(
+            path.read_bytes(), tuple(r.name for r in applicable)
+        )
+        cached = cache.get(relpath, key)
+        if cached is not None:
+            result.cache_hits += 1
+            result.findings.extend(cached)
+            continue
+        findings, suppressed = _lint_one(path, relpath, applicable, config)
+        result.suppressed += suppressed
+        cache.put(relpath, key, findings)
+        result.findings.extend(findings)
+
+    cache.prune(live)
+    cache.save()
+    result.findings.sort()
+
+    if use_baseline:
+        baseline = load_baseline(config.root / config.baseline)
+        result.new_findings, result.grandfathered, result.stale_baseline = (
+            apply_baseline(result.findings, baseline)
+        )
+    else:
+        result.new_findings = list(result.findings)
+    return result

@@ -203,6 +203,68 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", nargs="?", default=None)
     experiment.add_argument("--list", action="store_true", dest="list_all")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-aware linter (see docs/analysis.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to check (default: configured paths)",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        help="repository root holding pyproject.toml (default: cwd)",
+    )
+    lint.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        dest="output_format",
+        help="report format",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="A,B",
+        help="comma list of rule names to run (default: all)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of grandfathered findings "
+        "(default: lint-baseline.json under --root)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, including grandfathered ones",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-analyze every file, ignoring the result cache",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe the registered rules and exit",
+    )
+    lint.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="include suppression/stale-baseline details in text output",
+    )
+
     return parser
 
 
@@ -539,6 +601,58 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import all_rules, rule_names
+    from repro.analysis.baseline import write_baseline
+    from repro.analysis.framework import AnalysisError
+    from repro.analysis.reporters import render_json, render_text
+    from repro.analysis.runner import run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}: {rule.description}")
+            print(f"    scopes: {', '.join(rule.default_scopes)}")
+            print(f"    invariant: {rule.invariant}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = sorted(set(rules) - set(rule_names()))
+        if unknown:
+            raise SystemExit(
+                f"unknown rule(s): {', '.join(unknown)}; "
+                f"available: {', '.join(rule_names())}"
+            )
+    try:
+        result = run_lint(
+            args.root,
+            paths=args.paths or None,
+            rules=rules,
+            baseline_path=args.baseline,
+            use_baseline=not (args.no_baseline or args.write_baseline),
+            use_cache=not args.no_cache,
+        )
+    except AnalysisError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.write_baseline:
+        from pathlib import Path
+
+        baseline_path = Path(args.root) / (
+            args.baseline or result.config.baseline
+        )
+        try:
+            count = write_baseline(baseline_path, result.findings)
+        except AnalysisError as exc:
+            raise SystemExit(f"error: {exc}")
+        print(f"wrote {count} finding(s) to {baseline_path}")
+        return 0
+    if args.output_format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 def _run_one_experiment(name: str) -> bool:
     module = importlib.import_module(f"repro.bench.experiments.{name}")
     output = module.run()
@@ -584,6 +698,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "store": _cmd_store,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
+        "lint": _cmd_lint,
     }
     from repro.errors import DatasetError
 

@@ -19,6 +19,15 @@ class DatasetError(ReproError):
     """Unknown dataset name or invalid dataset parameters."""
 
 
+class StoreError(DatasetError):
+    """A dataset store is missing, torn, or inconsistent on disk.
+
+    Subclasses :class:`DatasetError` so existing ``except DatasetError``
+    handlers keep working; messages must name the offending path (the
+    ``error-context`` lint rule enforces this).
+    """
+
+
 class DeviceError(ReproError):
     """Invalid simulated-device operation (double free, bad handle, ...)."""
 

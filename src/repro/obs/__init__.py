@@ -24,7 +24,12 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
 )
-from repro.obs.schema import SchemaError, validate_event, validate_trace_file
+from repro.obs.schema import (
+    METRIC_NAMES,
+    SchemaError,
+    validate_event,
+    validate_trace_file,
+)
 from repro.obs.trace import (
     JsonlFileSink,
     ListSink,
@@ -44,6 +49,7 @@ __all__ = [
     "Histogram",
     "JsonlFileSink",
     "ListSink",
+    "METRIC_NAMES",
     "MetricsRegistry",
     "SMALL_COUNT_BUCKETS",
     "SchemaError",

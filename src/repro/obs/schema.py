@@ -12,9 +12,58 @@ import numbers
 
 from repro.errors import ReproError
 
-__all__ = ["SchemaError", "validate_event", "validate_trace_file"]
+__all__ = [
+    "METRIC_NAMES",
+    "SchemaError",
+    "validate_event",
+    "validate_trace_file",
+]
 
 EVENT_TYPES = frozenset({"span", "event"})
+
+#: Canonical registry of every ``buffalo.*`` metric name the pipeline
+#: may emit.  Dashboards and comparison scripts key on these strings;
+#: an unregistered name is a typo until proven otherwise, and the
+#: ``metric-name`` lint rule enforces exactly that.  Add new metrics
+#: here (with a schema-documented meaning) before emitting them.
+METRIC_NAMES = frozenset(
+    {
+        # core training loop (core/api.py, core/fastblock.py,
+        # core/scheduler.py, core/microbatch.py)
+        "buffalo.oom_retries",
+        "buffalo.iterations",
+        "buffalo.micro_batches_per_iter",
+        "buffalo.peak_mem_bytes",
+        "buffalo.block_gen_calls",
+        "buffalo.block_gen_nodes",
+        "buffalo.schedules",
+        "buffalo.groups_per_schedule",
+        "buffalo.micro_batches_generated",
+        # Eq. 1-2 estimator telemetry (obs/estimator.py)
+        "buffalo.estimator_rel_error",
+        "buffalo.estimator_predicted_bytes",
+        "buffalo.estimator_actual_bytes",
+        # pipelined execution (pipeline/engine.py)
+        "buffalo.pipeline.queue_wait_s",
+        "buffalo.pipeline.staging_s",
+        "buffalo.pipeline.iterations",
+        "buffalo.pipeline.depth",
+        "buffalo.pipeline.modeled_speedup",
+        # cross-group feature reuse (pipeline/reuse.py)
+        "buffalo.feature_cache.planned_pins",
+        "buffalo.feature_cache.hits",
+        "buffalo.feature_cache.misses",
+        "buffalo.feature_cache.pinned_rows",
+        "buffalo.feature_cache.hit_rate",
+        # out-of-core store (store/feature_store.py, store/prefetch.py)
+        "buffalo.store.prefetch_iterations",
+        "buffalo.store.peak_resident_bytes",
+        "buffalo.store.disk_bytes_read",
+        "buffalo.store.gather_s",
+        "buffalo.store.gather_bytes",
+        "buffalo.store.prefetch_declined",
+    }
+)
 
 # field name -> (required, type-check predicate, description)
 _NUMBER = lambda v: isinstance(v, numbers.Real) and not isinstance(v, bool)

@@ -153,7 +153,7 @@ class Span:
         return True
 
     def __enter__(self) -> "Span":
-        self.ts = time.time()
+        self.ts = self._tracer._now()
         self._start = time.perf_counter()
         self._tracer._push(self)
         return self
@@ -219,6 +219,15 @@ class Tracer:
         self._sinks: list[Sink] = []
         self._ids = itertools.count(1)
         self._local = threading.local()
+        # One wall-clock sample per tracer; every ts is the anchor plus
+        # a perf_counter delta, so timestamps within a trace are
+        # monotonic and immune to wall-clock steps (NTP, DST).
+        self._wall_anchor = time.time()
+        self._perf_anchor = time.perf_counter()
+
+    def _now(self) -> float:
+        """Wall-clock-anchored monotonic timestamp (unix seconds)."""
+        return self._wall_anchor + (time.perf_counter() - self._perf_anchor)
 
     # -- sink management ----------------------------------------------
     @property
@@ -299,7 +308,7 @@ class Tracer:
                 "kind": "point",
                 "span_id": next(self._ids),
                 "parent_id": None if parent is None else parent.span_id,
-                "ts": time.time(),
+                "ts": self._now(),
                 "duration_s": 0.0,
                 "attrs": dict(attrs) if attrs else {},
             }

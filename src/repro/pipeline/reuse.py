@@ -71,7 +71,9 @@ class ReusePlan:
         )
         group_of = np.concatenate(
             [
-                np.full(np.unique(np.asarray(s).ravel()).size, g)
+                np.full(
+                    np.unique(np.asarray(s).ravel()).size, g, dtype=np.int64
+                )
                 for g, s in enumerate(input_sets)
             ]
         )

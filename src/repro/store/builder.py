@@ -97,12 +97,12 @@ def build_store(
     features = np.ascontiguousarray(dataset.features)
     if features.ndim != 2:
         raise DatasetError(
-            f"features must be 2-D, got shape {features.shape}"
+            f"{dest}: features must be 2-D, got shape {features.shape}"
         )
     n_nodes, feat_dim = features.shape
     if n_nodes != dataset.graph.n_nodes:
         raise DatasetError(
-            f"feature rows ({n_nodes}) must match graph nodes "
+            f"{dest}: feature rows ({n_nodes}) must match graph nodes "
             f"({dataset.graph.n_nodes})"
         )
 
@@ -119,9 +119,19 @@ def build_store(
     with get_tracer().span(
         "store.build", {"n_nodes": int(n_nodes), "shard_rows": shard_rows}
     ):
-        _write(INDPTR_FILE, np.asarray(dataset.graph.indptr, dtype=INDEX_DTYPE))
+        # Build-time dtype normalization of the in-memory source graph
+        # (not a mapped store array) before the one-shot write to disk.
         _write(
-            INDICES_FILE, np.asarray(dataset.graph.indices, dtype=INDEX_DTYPE)
+            INDPTR_FILE,
+            np.asarray(  # repro: noqa[memmap-copy] in-memory source
+                dataset.graph.indptr, dtype=INDEX_DTYPE
+            ),
+        )
+        _write(
+            INDICES_FILE,
+            np.asarray(  # repro: noqa[memmap-copy] in-memory source
+                dataset.graph.indices, dtype=INDEX_DTYPE
+            ),
         )
         _write(LABELS_FILE, np.asarray(dataset.labels))
         for attr, rel in SPLIT_FILES.items():

@@ -131,7 +131,10 @@ class FeatureStore:
             self._note_resident(0)
             return
         order = load_mapped(self.root, HOT_ORDER_FILE, self.manifest)
-        hot_ids = np.asarray(order[:n_hot], dtype=INDEX_DTYPE)
+        # Deliberate bounded materialization: n_hot ids, not the matrix.
+        hot_ids = np.asarray(  # repro: noqa[memmap-copy]
+            order[:n_hot], dtype=INDEX_DTYPE
+        )
         self._hot_rows = self._read_rows(np.sort(hot_ids))
         self._hot_slot[np.sort(hot_ids)] = np.arange(n_hot, dtype=np.int32)
         # The warm-up read is disk traffic but not a gather; keep the
@@ -180,7 +183,10 @@ class FeatureStore:
         mapped = self._shards.get(shard)
         if mapped is None:
             mapped = load_mapped(self.root, shard_name(shard), self.manifest)
-            self._shards[shard] = mapped
+            with self._lock:
+                # A concurrent opener may have won; keep its map so both
+                # threads serve the same object.
+                mapped = self._shards.setdefault(shard, mapped)
         return mapped
 
     def _read_rows(self, ids: np.ndarray) -> np.ndarray:
@@ -383,9 +389,10 @@ class FeatureStore:
     def close(self) -> None:
         """Drop shard maps, staged buffers, and the hot cache."""
         self.drop_staged()
-        self._shards.clear()
-        self._hot_rows = np.empty((0, self.shape[1]), dtype=self.dtype)
-        self._hot_slot = np.full(self.shape[0], -1, dtype=np.int32)
+        with self._lock:
+            self._shards.clear()
+            self._hot_rows = np.empty((0, self.shape[1]), dtype=self.dtype)
+            self._hot_slot = np.full(self.shape[0], -1, dtype=np.int32)
 
     def __repr__(self) -> str:
         return (

@@ -15,7 +15,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.config import INDEX_DTYPE
-from repro.errors import DatasetError
+from repro.errors import StoreError
 from repro.graph.csr import CSRGraph
 from repro.store.layout import StoreManifest, load_mapped, read_manifest
 
@@ -44,19 +44,20 @@ class GraphStore:
         self.indptr = load_mapped(self.root, INDPTR_FILE, self.manifest)
         self.indices = load_mapped(self.root, INDICES_FILE, self.manifest)
         if self.indptr.dtype != INDEX_DTYPE or self.indices.dtype != INDEX_DTYPE:
-            raise DatasetError(
-                f"store graph arrays must be {np.dtype(INDEX_DTYPE).name}; "
-                f"found {self.indptr.dtype.name}/{self.indices.dtype.name}"
+            raise StoreError(
+                f"{self.root}: graph arrays must be "
+                f"{np.dtype(INDEX_DTYPE).name}; found "
+                f"{self.indptr.dtype.name}/{self.indices.dtype.name}"
             )
         if self.indptr.size != self.manifest.n_nodes + 1:
-            raise DatasetError(
-                f"store indptr has {self.indptr.size} entries; manifest "
-                f"says {self.manifest.n_nodes} nodes"
+            raise StoreError(
+                f"{self.root}: indptr has {self.indptr.size} entries; "
+                f"manifest says {self.manifest.n_nodes} nodes"
             )
         if self.indices.size != self.manifest.n_edges:
-            raise DatasetError(
-                f"store indices has {self.indices.size} entries; manifest "
-                f"says {self.manifest.n_edges} edges"
+            raise StoreError(
+                f"{self.root}: indices has {self.indices.size} entries; "
+                f"manifest says {self.manifest.n_edges} edges"
             )
 
     @property

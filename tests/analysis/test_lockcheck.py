@@ -1,0 +1,197 @@
+"""lock-discipline: seeded concurrency bugs the static pass must catch.
+
+Fixture classes are written to ``src/repro/store/feature_store.py``
+inside the temp project so the rule's default file scope applies.
+"""
+
+FIXTURE_PATH = "src/repro/store/feature_store.py"
+
+
+def lint(project, source):
+    project.write(FIXTURE_PATH, source)
+    return project.lint(rules=["lock-discipline"])
+
+
+class TestUnguardedWrite:
+    def test_catches_write_outside_lock(self, project):
+        result = lint(
+            project,
+            "import threading\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.hits = 0\n"
+            "    def guarded(self):\n"
+            "        with self._lock:\n"
+            "            self.hits += 1\n"
+            "    def racy(self):\n"
+            "        self.hits += 1\n",
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "lock-discipline"
+        assert "self.hits" in finding.message
+        assert finding.line == 10
+
+    def test_catches_unguarded_container_mutation(self, project):
+        result = lint(
+            project,
+            "import threading\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._staged = []\n"
+            "    def guarded(self, x):\n"
+            "        with self._lock:\n"
+            "            self._staged.append(x)\n"
+            "    def racy(self):\n"
+            "        self._staged.clear()\n",
+        )
+        assert len(result.findings) == 1
+        assert "_staged" in result.findings[0].message
+
+    def test_init_writes_are_exempt(self, project):
+        result = lint(
+            project,
+            "import threading\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._hot = self._build()\n"
+            "    def _build(self):\n"
+            "        self.hits = 0\n"
+            "        return []\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.hits += 1\n",
+        )
+        assert result.findings == []
+
+    def test_helper_always_called_under_lock_is_effectively_guarded(
+        self, project
+    ):
+        # The FeatureStore._note_resident pattern: the private helper's
+        # every non-construction call site holds the lock.
+        result = lint(
+            project,
+            "import threading\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.peak = 0\n"
+            "    def _note(self, n):\n"
+            "        self.peak = max(self.peak, n)\n"
+            "    def gather(self, n):\n"
+            "        with self._lock:\n"
+            "            self._note(n)\n"
+            "    def prefetch(self, n):\n"
+            "        with self._lock:\n"
+            "            self._note(n)\n",
+        )
+        assert result.findings == []
+
+
+class TestDeadlock:
+    def test_catches_directly_nested_reacquire(self, project):
+        result = lint(
+            project,
+            "import threading\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def f(self):\n"
+            "        with self._lock:\n"
+            "            with self._lock:\n"
+            "                pass\n",
+        )
+        assert len(result.findings) == 1
+        assert "deadlock" in result.findings[0].message
+
+    def test_rlock_reacquire_is_fine(self, project):
+        result = lint(
+            project,
+            "import threading\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+            "    def f(self):\n"
+            "        with self._lock:\n"
+            "            with self._lock:\n"
+            "                pass\n",
+        )
+        assert result.findings == []
+
+    def test_catches_call_that_reacquires_held_lock(self, project):
+        result = lint(
+            project,
+            "import threading\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0\n"
+            "    def inner(self):\n"
+            "        with self._lock:\n"
+            "            self.n += 1\n"
+            "    def outer(self):\n"
+            "        with self._lock:\n"
+            "            self.inner()\n",
+        )
+        assert any(
+            "re-acquires" in f.message for f in result.findings
+        ), [f.message for f in result.findings]
+
+
+class TestLockOrder:
+    def test_catches_abba_cycle(self, project):
+        result = lint(
+            project,
+            "import threading\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n"
+            "    def ab(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+            "    def ba(self):\n"
+            "        with self._b:\n"
+            "            with self._a:\n"
+            "                pass\n",
+        )
+        assert any("ABBA" in f.message for f in result.findings)
+
+    def test_consistent_order_passes(self, project):
+        result = lint(
+            project,
+            "import threading\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n"
+            "    def ab(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+            "    def ab2(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n",
+        )
+        assert result.findings == []
+
+
+class TestRealTree:
+    def test_shipped_threaded_modules_are_clean(self):
+        from pathlib import Path
+
+        from repro.analysis.runner import run_lint
+
+        repo_root = Path(__file__).resolve().parents[2]
+        result = run_lint(
+            repo_root,
+            rules=["lock-discipline"],
+            use_cache=False,
+            use_baseline=False,
+        )
+        assert result.findings == [], [f.render() for f in result.findings]

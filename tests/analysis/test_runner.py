@@ -1,0 +1,270 @@
+"""End-to-end runner behavior: caching, baseline, reporters, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    NEVER_BASELINE,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.config import LintConfig
+from repro.analysis.framework import AnalysisError
+from repro.analysis.reporters import REPORT_VERSION, render_json, render_text
+from repro.analysis.runner import run_lint
+from repro.cli import main
+
+BAD_DTYPE = (
+    "import numpy as np\n"
+    "def f():\n"
+    "    return np.zeros(10)\n"
+)
+
+CLEAN = "X = 1\n"
+
+
+class TestCache:
+    def test_second_run_is_served_from_cache(self, project):
+        project.write("src/repro/core/mod.py", BAD_DTYPE)
+        config = LintConfig(root=project.root)
+        first = run_lint(
+            project.root, config=config, use_baseline=False, use_cache=True
+        )
+        assert first.cache_hits == 0
+        assert len(first.findings) == 1
+        second = run_lint(
+            project.root,
+            config=LintConfig(root=project.root),
+            use_baseline=False,
+            use_cache=True,
+        )
+        assert second.cache_hits == 1
+        assert second.findings == first.findings
+
+    def test_edit_invalidates_cache_entry(self, project):
+        path = project.write("src/repro/core/mod.py", BAD_DTYPE)
+        run_lint(
+            project.root,
+            config=LintConfig(root=project.root),
+            use_baseline=False,
+            use_cache=True,
+        )
+        path.write_text(CLEAN, encoding="utf-8")
+        result = run_lint(
+            project.root,
+            config=LintConfig(root=project.root),
+            use_baseline=False,
+            use_cache=True,
+        )
+        assert result.cache_hits == 0
+        assert result.findings == []
+
+    def test_corrupt_cache_is_discarded(self, project):
+        project.write("src/repro/core/mod.py", CLEAN)
+        (project.root / ".repro-lint-cache.json").write_text(
+            "{ not json", encoding="utf-8"
+        )
+        result = run_lint(
+            project.root,
+            config=LintConfig(root=project.root),
+            use_baseline=False,
+            use_cache=True,
+        )
+        assert result.findings == []
+
+
+class TestBaseline:
+    def test_grandfathered_findings_pass_the_gate(self, project):
+        project.write("src/repro/core/mod.py", BAD_DTYPE)
+        config = LintConfig(root=project.root)
+        first = run_lint(
+            project.root, config=config, use_baseline=False, use_cache=False
+        )
+        write_baseline(project.root / config.baseline, first.findings)
+        second = run_lint(
+            project.root,
+            config=LintConfig(root=project.root),
+            use_baseline=True,
+            use_cache=False,
+        )
+        assert second.ok
+        assert second.grandfathered == 1
+        assert second.new_findings == []
+        assert second.findings == first.findings  # still visible
+
+    def test_fixed_finding_reports_stale_entry(self, project):
+        path = project.write("src/repro/core/mod.py", BAD_DTYPE)
+        config = LintConfig(root=project.root)
+        first = run_lint(
+            project.root, config=config, use_baseline=False, use_cache=False
+        )
+        write_baseline(project.root / config.baseline, first.findings)
+        path.write_text(CLEAN, encoding="utf-8")
+        second = run_lint(
+            project.root,
+            config=LintConfig(root=project.root),
+            use_baseline=True,
+            use_cache=False,
+        )
+        assert second.ok
+        assert len(second.stale_baseline) == 1
+        assert second.stale_baseline[0][0] == "dtype-promotion"
+
+    def test_never_baseline_rules_are_refused_on_write(self, project):
+        project.write(
+            "src/repro/core/mod.py",
+            "from repro.obs.trace import get_tracer\n"
+            "def f():\n"
+            "    s = get_tracer().span('x')\n"
+            "    return s\n",
+        )
+        result = project.lint(rules=["span-leak"])
+        assert result.findings
+        with pytest.raises(AnalysisError, match="span-leak"):
+            write_baseline(project.root / "b.json", result.findings)
+
+    def test_never_baseline_rules_are_refused_on_load(self, project):
+        bad = {
+            "version": 1,
+            "findings": [
+                {
+                    "rule": "no-nondeterminism",
+                    "path": "x.py",
+                    "message": "m",
+                    "count": 1,
+                }
+            ],
+        }
+        path = project.root / "b.json"
+        path.write_text(json.dumps(bad), encoding="utf-8")
+        with pytest.raises(AnalysisError, match="no-nondeterminism"):
+            load_baseline(path)
+
+    def test_shipped_baseline_is_empty_for_critical_rules(self):
+        # The acceptance bar: the committed baseline grandfathers
+        # nothing from the never-baseline rules (and is in fact empty).
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        baseline = load_baseline(repo_root / "lint-baseline.json")
+        assert not any(key[0] in NEVER_BASELINE for key in baseline)
+
+
+class TestReporters:
+    def _result(self, project):
+        project.write("src/repro/core/mod.py", BAD_DTYPE)
+        return project.lint()
+
+    def test_text_lines_are_editor_clickable(self, project):
+        text = render_text(self._result(project))
+        first = text.splitlines()[0]
+        assert first.startswith("src/repro/core/mod.py:3:")
+        assert "dtype-promotion" in first
+        assert "1 finding(s)" in text
+
+    def test_json_schema(self, project):
+        doc = json.loads(render_json(self._result(project)))
+        assert doc["version"] == REPORT_VERSION
+        assert doc["ok"] is False
+        assert set(doc) == {
+            "version",
+            "ok",
+            "rules",
+            "files_checked",
+            "cache_hits",
+            "suppressed",
+            "grandfathered",
+            "stale_baseline",
+            "findings",
+            "all_findings",
+        }
+        (finding,) = doc["findings"]
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert finding["rule"] == "dtype-promotion"
+        assert doc["all_findings"] == doc["findings"]
+
+    def test_parse_error_becomes_a_finding(self, project):
+        project.write("src/repro/core/broken.py", "def f(:\n")
+        result = project.lint()
+        assert [f.rule for f in result.findings] == ["parse-error"]
+
+
+class TestScopeConfig:
+    def test_pyproject_scope_override_widens_a_rule(self, project):
+        project.write("src/repro/bench/mod.py", BAD_DTYPE)
+        config = LintConfig(
+            root=project.root,
+            scopes={"dtype-promotion": ("src/repro/bench",)},
+        )
+        result = run_lint(
+            project.root,
+            rules=["dtype-promotion"],
+            config=config,
+            use_baseline=False,
+            use_cache=False,
+        )
+        assert len(result.findings) == 1
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, project, capsys):
+        project.write("src/repro/core/mod.py", CLEAN)
+        code = main(["lint", "--root", str(project.root), "--no-cache"])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_new_finding(self, project, capsys):
+        project.write("src/repro/core/mod.py", BAD_DTYPE)
+        code = main(["lint", "--root", str(project.root), "--no-cache"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "dtype-promotion" in out
+
+    def test_json_format_round_trips(self, project, capsys):
+        project.write("src/repro/core/mod.py", BAD_DTYPE)
+        code = main(
+            [
+                "lint",
+                "--root",
+                str(project.root),
+                "--no-cache",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+
+    def test_rules_filter_and_unknown_rule(self, project, capsys):
+        project.write("src/repro/core/mod.py", BAD_DTYPE)
+        code = main(
+            [
+                "lint",
+                "--root",
+                str(project.root),
+                "--no-cache",
+                "--rules",
+                "span-leak",
+            ]
+        )
+        assert code == 0
+        with pytest.raises(SystemExit, match="unknown rule"):
+            main(["lint", "--root", str(project.root), "--rules", "nope"])
+
+    def test_write_baseline_then_gate_passes(self, project, capsys):
+        project.write("src/repro/core/mod.py", BAD_DTYPE)
+        root = str(project.root)
+        assert (
+            main(["lint", "--root", root, "--no-cache", "--write-baseline"])
+            == 0
+        )
+        assert (project.root / "lint-baseline.json").is_file()
+        assert main(["lint", "--root", root, "--no-cache"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "lock-discipline" in out
+        assert "invariant" in out

@@ -67,6 +67,24 @@ class TestAttrs:
         assert event["duration_s"] >= 0
         assert event["ts"] > 0
 
+    def test_timestamps_are_wall_anchored_and_monotonic(
+        self, tracer, sink, monkeypatch
+    ):
+        # One wall-clock sample per tracer; every ts is anchor plus a
+        # perf_counter delta, so a wall-clock step (NTP, DST) mid-trace
+        # cannot reorder events.
+        import time as time_mod
+
+        monkeypatch.setattr(
+            time_mod, "time", lambda: 0.0
+        )  # step the wall clock back hard
+        with tracer.span("a"):
+            pass
+        tracer.event("tick")
+        a, tick = sink.events
+        assert a["ts"] >= tracer._wall_anchor  # unaffected by the step
+        assert tick["ts"] >= a["ts"]
+
     def test_point_event_attaches_to_current_span(self, tracer, sink):
         with tracer.span("parent") as span:
             tracer.event("tick", {"n": 1})

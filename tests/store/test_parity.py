@@ -89,13 +89,20 @@ class TestLossParity:
         assert st_losses == mem_losses
 
     def test_threaded_pipeline_parity(self, cora, built_store):
+        from repro.analysis.race import RaceSentinel
+
         mem_losses, _, _ = _iter_losses(cora)
         store_ds = open_dataset(
             built_store, hot_cache_bytes=20_000, host_budget_bytes=HOST_BUDGET
         )
-        st_losses, _, _ = _iter_losses(
-            store_ds, pipeline_depth=2, pipeline_mode="threaded"
-        )
+        # The staging worker and the training thread share the store;
+        # the sentinel turns any unguarded cross-thread mutation into a
+        # hard failure instead of a flaky counter.
+        with RaceSentinel(store_ds.features) as sentinel:
+            st_losses, _, _ = _iter_losses(
+                store_ds, pipeline_depth=2, pipeline_mode="threaded"
+            )
+        assert sentinel.violations == []
         assert st_losses == mem_losses
 
     def test_plans_identical(self, cora, built_store):

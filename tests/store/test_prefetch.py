@@ -59,6 +59,17 @@ class TestSyncMode:
 
 
 class TestThreadedMode:
+    @pytest.fixture(autouse=True)
+    def _race_sentinel(self, fs):
+        # Every threaded run doubles as a race test: any FeatureStore
+        # attribute mutated off the owning thread without `_lock` held
+        # raises RaceError at the offending write.
+        from repro.analysis.race import RaceSentinel
+
+        with RaceSentinel(fs) as sentinel:
+            yield
+        assert sentinel.violations == []
+
     def test_all_groups_eventually_served(self, fs, cora):
         pf = SchedulePrefetcher(fs, depth=2, threaded=True)
         pf.begin_iteration(SETS)
