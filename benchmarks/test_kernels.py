@@ -1,0 +1,22 @@
+"""Benchmark: fused CSR kernel backend vs dense reference.
+
+Runs :mod:`repro.bench.experiments.kernels` once and asserts the
+tentpole's shape (fused wins wall time on sum/mean and never allocates
+more peak scratch than the reference); the result table is saved under
+``benchmarks/results/kernels.txt``.  The checked-in machine-readable
+artifact lives at ``BENCH_kernels.json`` (regenerate with
+``python -m repro bench kernels``).
+"""
+
+from repro.bench.experiments import kernels
+
+from .conftest import run_and_check
+
+
+def test_kernels(benchmark):
+    output = run_and_check(benchmark, kernels.run)
+    ops = output.data["ops"]
+    # Every backend cell must have actually timed a forward+backward.
+    for op in ("sum", "mean", "max"):
+        for backend in ("reference", "fused"):
+            assert ops[op][backend]["wall_s"] > 0.0

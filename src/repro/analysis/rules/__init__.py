@@ -9,6 +9,7 @@ from repro.analysis.rules import (  # noqa: F401  (register on import)
     determinism,
     dtypes,
     error_context,
+    hotalloc,
     lockcheck,
     memmap,
     metric_names,

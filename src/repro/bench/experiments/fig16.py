@@ -61,6 +61,57 @@ def _min_fit_k(prepared, estimator, constraint, partition_fn) -> int | None:
     return None
 
 
+def _kernel_backend_addendum(
+    dataset, micro_batch, fanouts, seed, repeats, rows
+) -> dict:
+    """Time one real fwd+bwd per kernel backend; append table rows."""
+    from repro.bench.workloads import standard_spec
+    from repro.config import FLOAT_DTYPE
+    from repro.core.api import build_model
+    from repro.kernels import FusedBackend, ReferenceBackend, use_kernel_backend
+    from repro.tensor import Tensor
+
+    spec = standard_spec(dataset, aggregator="mean", hidden=64)
+    model = build_model(spec, rng=seed)
+    cutoffs = list(reversed(fanouts))
+    rng = np.random.default_rng(seed)
+    feats = rng.standard_normal(
+        (micro_batch.blocks[0].n_src, spec.in_dim)
+    ).astype(FLOAT_DTYPE)
+    result: dict[str, dict | float] = {}
+    for backend in (ReferenceBackend(), FusedBackend()):
+        best_wall = None
+        for _ in range(repeats):
+            model.zero_grad()
+            start = time.perf_counter()
+            with use_kernel_backend(backend):
+                backend.begin_group()
+                try:
+                    out = model(micro_batch.blocks, Tensor(feats), cutoffs)
+                    out.sum().backward()
+                finally:
+                    backend.end_group()
+            wall = time.perf_counter() - start
+            best_wall = wall if best_wall is None else min(best_wall, wall)
+        result[backend.name] = {
+            "wall_s": best_wall,
+            "nodes_per_s": micro_batch.n_input / best_wall,
+        }
+        rows.append(
+            [
+                f"Buffalo mb0 fwd+bwd ({backend.name} kernels)",
+                1,
+                micro_batch.n_input,
+                best_wall,
+                micro_batch.n_input / best_wall,
+            ]
+        )
+    result["fused_speedup"] = (
+        result["reference"]["wall_s"] / result["fused"]["wall_s"]
+    )
+    return result
+
+
 def run(
     *,
     scale: float | None = None,
@@ -187,6 +238,14 @@ def run(
             [name, d["k"], d["total_nodes"], d["time_s"], d["efficiency"]]
         )
 
+    # Kernel-backend addendum: the strategy comparison above is symbolic
+    # (SymbolicTrainer clocks), so it cannot see the kernel layer.  Time
+    # one *real* numpy forward+backward of a mean-GraphSAGE micro-batch
+    # under each backend (docs/kernels.md) and report both.
+    data["kernel_backends"] = _kernel_backend_addendum(
+        dataset, micro_batches[0], prepared.fanouts, seed, repeats, rows
+    )
+
     # Untimed companion claim: redundancy-blind strategies need more
     # micro-batches for the same per-micro-batch budget.
     constraint = 0.9 * budget
@@ -219,6 +278,11 @@ def run(
         "redundancy_blind_need_more_micro_batches": (
             (random_k or 10**9) >= k_eval
             and (range_k or 10**9) >= k_eval
+        ),
+        # Flake-tolerant floor; the hard gate is `repro bench kernels
+        # --check` in CI's perf-smoke job.
+        "fused_kernels_not_slower": (
+            data["kernel_backends"]["fused_speedup"] >= 0.9
         ),
     }
     table = format_table(

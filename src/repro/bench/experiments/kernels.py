@@ -1,0 +1,91 @@
+"""Kernel backends: fused CSR segment-reduce vs dense reference.
+
+The tentpole perf experiment for the kernel layer (DESIGN.md,
+``docs/kernels.md``): one forward+backward of each bucketed aggregation
+op on a synthetic cut-off bucket, comparing the dense-gather reference
+backend against the fused CSR backend that never materializes the
+``(n, degree, features)`` tensor.
+
+Shape checks assert the fused backend's reason to exist: faster on the
+linear reductions (``sum`` / ``mean``), never allocating more peak
+scratch than the reference on any op, and at most 70% of the
+reference's scratch on the linear reductions (the ISSUE acceptance
+floor is recorded in ``data["targets"]``; CI gates at a laxer
+flake-tolerant floor via ``repro bench kernels --check``).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentOutput
+from repro.bench.kernels import run_kernel_bench
+from repro.bench.reporting import format_table
+
+
+def run(
+    *,
+    n_rows: int = 4096,
+    degree: int = 24,
+    feat_dim: int = 64,
+    repeats: int = 3,
+    seed: int = 0,
+) -> ExperimentOutput:
+    result = run_kernel_bench(
+        n_rows=n_rows,
+        degree=degree,
+        feat_dim=feat_dim,
+        repeats=repeats,
+        seed=seed,
+    )
+
+    rows = []
+    for op, per_op in result["ops"].items():
+        for backend in ("reference", "fused"):
+            cell = per_op[backend]
+            rows.append(
+                [
+                    op,
+                    backend,
+                    f"{cell['wall_s'] * 1e3:.2f}",
+                    f"{cell['scratch_bytes'] / 2**20:.2f}",
+                    f"{per_op['speedup']:.2f}x"
+                    if backend == "fused"
+                    else "1.00x",
+                    f"{per_op['scratch_ratio']:.2f}"
+                    if backend == "fused"
+                    else "1.00",
+                ]
+            )
+    meta = result["workload"]
+    table = format_table(
+        ["op", "backend", "fwd+bwd ms", "scratch MiB", "speedup", "scratch ratio"],
+        rows,
+        title=(
+            f"Kernel backends on the cut-off bucket "
+            f"(n={meta['n_rows']}, degree={meta['degree']}, "
+            f"f={meta['feat_dim']}, best of {meta['repeats']})"
+        ),
+    )
+
+    ops = result["ops"]
+    checks = {
+        # Linear reductions are where the fused CSR matmul wins; keep a
+        # margin below the 1.5x acceptance floor so a noisy CI runner
+        # doesn't flake the suite (the gate proper is `--check`).
+        "fused_sum_faster": ops["sum"]["speedup"] >= 1.2,
+        "fused_mean_faster": ops["mean"]["speedup"] >= 1.2,
+        "fused_sum_scratch_under_70pct": ops["sum"]["scratch_ratio"] <= 0.7,
+        "fused_mean_scratch_under_70pct": ops["mean"]["scratch_ratio"] <= 0.7,
+        # Max trades wall time for exact argmax semantics but must still
+        # never out-allocate the dense reference.
+        "fused_max_not_slower": ops["max"]["speedup"] >= 0.9,
+        "fused_never_more_scratch": all(
+            per_op["scratch_ratio"] <= 1.0 for per_op in ops.values()
+        ),
+    }
+
+    return ExperimentOutput(
+        name="kernels",
+        table=table,
+        data=result,
+        shape_checks=checks,
+    )

@@ -12,6 +12,7 @@ Subcommands::
     python -m repro trace summarize t.jsonl     # per-phase breakdown
     python -m repro experiment fig10            # regenerate a figure
     python -m repro experiment --list
+    python -m repro bench kernels --check       # kernel perf gate
 """
 
 from __future__ import annotations
@@ -47,6 +48,7 @@ EXPERIMENTS = (
     "ablation_feature_cache",
     "pipeline_overlap",
     "store_io",
+    "kernels",
 )
 
 
@@ -116,6 +118,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="byte budget of the device feature cache used by "
         "--reuse-features (default: 10%% of device capacity)",
+    )
+    train.add_argument(
+        "--kernel-backend",
+        default="reference",
+        choices=["reference", "fused"],
+        help="bucketed-aggregation kernels: 'reference' keeps the dense "
+        "(n, degree, feat) gather semantics bit-for-bit; 'fused' reads "
+        "the CSR block directly (see docs/kernels.md)",
     )
     train.add_argument(
         "--hot-cache-mb",
@@ -202,6 +212,32 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("name", nargs="?", default=None)
     experiment.add_argument("--list", action="store_true", dest="list_all")
+
+    bench = sub.add_parser(
+        "bench", help="machine-readable micro-benchmarks (BENCH_*.json)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_kernels = bench_sub.add_parser(
+        "kernels",
+        help="fused vs reference kernel backends on the cut-off bucket",
+    )
+    bench_kernels.add_argument("--rows", type=int, default=4096)
+    bench_kernels.add_argument("--degree", type=int, default=24)
+    bench_kernels.add_argument("--feat", type=int, default=64)
+    bench_kernels.add_argument("--repeats", type=int, default=3)
+    bench_kernels.add_argument("--seed", type=int, default=0)
+    bench_kernels.add_argument(
+        "--out",
+        default="BENCH_kernels.json",
+        metavar="PATH",
+        help="where to write the JSON result (default: BENCH_kernels.json)",
+    )
+    bench_kernels.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when fused is >10%% slower than reference on "
+        "sum/mean (best-of---repeats; the CI perf-smoke gate)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -438,6 +474,7 @@ def _cmd_train(args) -> int:
         pipeline_mode=args.pipeline_mode,
         reuse_features=args.reuse_features,
         feature_cache_bytes=args.feature_cache_bytes,
+        kernel_backend=args.kernel_backend,
     )
     val_nodes = None
     if args.do_eval:
@@ -688,6 +725,43 @@ def _cmd_experiment(args) -> int:
     return 0 if _run_one_experiment(args.name) else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench.kernels import (
+        check_regression,
+        run_kernel_bench,
+        write_bench_json,
+    )
+
+    _require_positive(args.rows, "--rows")
+    _require_positive(args.degree, "--degree")
+    _require_positive(args.feat, "--feat")
+    _require_positive(args.repeats, "--repeats")
+    result = run_kernel_bench(
+        n_rows=args.rows,
+        degree=args.degree,
+        feat_dim=args.feat,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    path = write_bench_json(result, args.out)
+    for op, per_op in result["ops"].items():
+        print(
+            f"{op}: reference {per_op['reference']['wall_s'] * 1e3:.2f} ms"
+            f"  fused {per_op['fused']['wall_s'] * 1e3:.2f} ms"
+            f"  speedup {per_op['speedup']:.2f}x"
+            f"  scratch ratio {per_op['scratch_ratio']:.2f}"
+        )
+    print(f"results written to {path}")
+    if args.check:
+        failures = check_regression(result)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("perf gate passed (fused within floor on sum/mean)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -698,6 +772,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "store": _cmd_store,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
     }
     from repro.errors import DatasetError

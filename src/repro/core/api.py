@@ -32,6 +32,7 @@ from repro.gnn.gat import GAT
 from repro.gnn.gcn import GCN
 from repro.gnn.sage import GraphSAGE
 from repro.graph.sampling import SampledBatch, sample_batch
+from repro.kernels.dispatch import use_kernel_backend
 from repro.nn.optim import Adam, Optimizer
 from repro.obs.estimator import EstimatorTelemetry
 from repro.obs.metrics import SMALL_COUNT_BUCKETS, get_metrics
@@ -122,6 +123,12 @@ class BuffaloTrainer:
             identical either way).
         store_prefetch_depth: staged groups the prefetcher may run
             ahead (defaults to ``max(2, pipeline_depth)``).
+        kernel_backend: bucket-aggregation kernel backend,
+            ``"reference"`` (dense gather, bit-for-bit legacy
+            semantics) or ``"fused"`` (CSR segment-reduce, no
+            ``(n, d, f)`` neighbor tensor — see docs/kernels.md).
+            Scheduling and execution both run under this backend so
+            Eq. 1-2 estimates match the executed live set.
     """
 
     def __init__(
@@ -143,6 +150,7 @@ class BuffaloTrainer:
         feature_cache_bytes: int | None = None,
         store_prefetch: bool = True,
         store_prefetch_depth: int | None = None,
+        kernel_backend: str = "reference",
     ) -> None:
         if spec.in_dim != dataset.feat_dim:
             raise SchedulingError(
@@ -176,7 +184,8 @@ class BuffaloTrainer:
         self.model = build_model(spec, rng=seed)
         self.optimizer = optimizer or Adam(self.model.parameters(), lr=lr)
         self.trainer = MicroBatchTrainer(
-            self.model, spec, self.optimizer, device
+            self.model, spec, self.optimizer, device,
+            kernel_backend=kernel_backend,
         )
         self.pipeline_config = PipelineConfig(
             depth=pipeline_depth, mode=pipeline_mode
@@ -231,6 +240,17 @@ class BuffaloTrainer:
         if seeds is None:
             seeds = self.dataset.train_nodes
 
+        with use_kernel_backend(self.trainer.kernel):
+            return self._plan_batch_inner(seeds, profiler)
+
+    def _plan_batch_inner(self, seeds, profiler):
+        """Body of :meth:`_plan_batch`, with the kernel backend active.
+
+        The Eq. 1-2 estimator consults the active backend's footprint
+        formulas (fused retains less), so scheduling must run under the
+        same backend the trainer executes with — otherwise K and the
+        group boundaries would be planned for the wrong live set.
+        """
         with profiler.phase("sampling") as span:
             batch = sample_batch(
                 self.dataset.graph,

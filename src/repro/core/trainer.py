@@ -38,6 +38,7 @@ from repro.gnn.footprint import (
     training_dram_bytes,
     training_flops,
 )
+from repro.kernels.dispatch import resolve_backend, use_kernel_backend
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
 from repro.obs.trace import get_tracer
@@ -74,6 +75,11 @@ class MicroBatchTrainer:
         spec: the matching :class:`ModelSpec` (drives the cost model).
         optimizer: optimizer over ``model.parameters()``.
         device: simulated GPU; ``None`` disables memory/time accounting.
+        kernel_backend: bucket-aggregation backend name or instance
+            ("reference" | "fused", see :mod:`repro.kernels`); the
+            trainer scopes it around every micro-batch and marks the
+            bucket-group boundary so the fused backend's workspace
+            arena is reused across micro-batches.
 
     Attributes:
         reuse: optional cross-group feature-reuse manager (a
@@ -91,11 +97,14 @@ class MicroBatchTrainer:
         spec: ModelSpec,
         optimizer: Optimizer,
         device: SimulatedGPU | None = None,
+        *,
+        kernel_backend: str = "reference",
     ) -> None:
         self.model = model
         self.spec = spec
         self.optimizer = optimizer
         self.device = device
+        self.kernel = resolve_backend(kernel_backend)
         self.reuse = None
         if device is not None:
             model.to_device(device)
@@ -180,14 +189,25 @@ class MicroBatchTrainer:
             input_feats = self._load_features(
                 dataset, node_map, mb.blocks[0], profiler, staged_features
             )
-            with profiler.phase("forward_backward_wall"):
-                logits = self.model(mb.blocks, input_feats, cutoffs)
-                labels = dataset.labels[node_map[mb.blocks[-1].dst_nodes]]
-                partial = cross_entropy_with_logits(
-                    logits, labels, reduction="sum"
-                ) * (1.0 / total_outputs)
-                partial.backward()
-                loss_value = partial.item()
+            # One micro-batch = one bucket group: the kernel backend's
+            # workspace arena lives across the whole forward+backward
+            # (backward completes inside this block, so end_group —
+            # after which scratch may be reused — is safe) and is
+            # recycled by the next micro-batch.
+            with profiler.phase("forward_backward_wall"), use_kernel_backend(
+                self.kernel
+            ):
+                self.kernel.begin_group()
+                try:
+                    logits = self.model(mb.blocks, input_feats, cutoffs)
+                    labels = dataset.labels[node_map[mb.blocks[-1].dst_nodes]]
+                    partial = cross_entropy_with_logits(
+                        logits, labels, reduction="sum"
+                    ) * (1.0 / total_outputs)
+                    partial.backward()
+                    loss_value = partial.item()
+                finally:
+                    self.kernel.end_group()
             self._simulate_compute(mb.blocks, profiler)
             peak = None
             if self.device is not None:

@@ -20,29 +20,24 @@ import numpy as np
 from repro.errors import GraphError
 from repro.gnn.block import Block
 from repro.gnn.bucketing import Bucket
+from repro.kernels.dispatch import get_kernel_backend
 from repro.nn.linear import Linear
 from repro.nn.lstm import LSTM
 from repro.nn.module import Module
-from repro.tensor.ops import gather_rows
 from repro.tensor.tensor import Tensor
 
 
 def _bucket_neighbor_tensor(
     block: Block, bucket: Bucket, src_feats: Tensor
 ) -> Tensor:
-    """Gather the ``(n, d, f)`` neighbor-feature tensor for a bucket."""
-    d = bucket.degree
-    starts = block.indptr[bucket.rows]
-    row_degrees = block.indptr[bucket.rows + 1] - starts
-    if np.any(row_degrees != d):
-        raise GraphError(
-            f"bucket labeled degree {d} contains rows of degrees "
-            f"{np.unique(row_degrees)}"
-        )
-    positions = block.indices[
-        starts[:, None] + np.arange(d, dtype=starts.dtype)
-    ]
-    return gather_rows(src_feats, positions)
+    """Gather the ``(n, d, f)`` neighbor-feature tensor for a bucket.
+
+    Row-degree validation runs once per (bucket, block) pair and the
+    ``arange(d)`` column offsets are cached per degree (see
+    :mod:`repro.kernels.csr`) — this runs per bucket per micro-batch
+    per epoch.
+    """
+    return get_kernel_backend().neighbor_tensor(block, bucket, src_feats)
 
 
 class Aggregator(Module):
@@ -59,10 +54,10 @@ class Aggregator(Module):
 
     def _empty(self, bucket: Bucket, src_feats: Tensor) -> Tensor:
         out_dim = self.output_dim(int(src_feats.shape[1]))
-        return Tensor(
-            np.zeros((bucket.volume, out_dim), dtype=src_feats.dtype),
-            device=src_feats.device,
+        out = np.zeros(  # repro: noqa[hot-alloc] owned autograd output
+            (bucket.volume, out_dim), dtype=src_feats.dtype
         )
+        return Tensor(out, device=src_feats.device)
 
 
 class MeanAggregator(Aggregator):
@@ -71,7 +66,9 @@ class MeanAggregator(Aggregator):
     def forward(self, block, bucket, src_feats):
         if bucket.degree == 0:
             return self._empty(bucket, src_feats)
-        return _bucket_neighbor_tensor(block, bucket, src_feats).mean(axis=1)
+        return get_kernel_backend().bucket_reduce(
+            block, bucket, src_feats, "mean"
+        )
 
 
 class SumAggregator(Aggregator):
@@ -80,7 +77,9 @@ class SumAggregator(Aggregator):
     def forward(self, block, bucket, src_feats):
         if bucket.degree == 0:
             return self._empty(bucket, src_feats)
-        return _bucket_neighbor_tensor(block, bucket, src_feats).sum(axis=1)
+        return get_kernel_backend().bucket_reduce(
+            block, bucket, src_feats, "sum"
+        )
 
 
 class MaxAggregator(Aggregator):
@@ -89,7 +88,9 @@ class MaxAggregator(Aggregator):
     def forward(self, block, bucket, src_feats):
         if bucket.degree == 0:
             return self._empty(bucket, src_feats)
-        return _bucket_neighbor_tensor(block, bucket, src_feats).max(axis=1)
+        return get_kernel_backend().bucket_reduce(
+            block, bucket, src_feats, "max"
+        )
 
 
 class PoolAggregator(Aggregator):

@@ -8,6 +8,7 @@ bucket that explodes on power-law graphs (paper §III, Fig. 4).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +37,27 @@ class Bucket:
 
     def __post_init__(self) -> None:
         self.rows = np.ascontiguousarray(self.rows, dtype=INDEX_DTYPE)
+        # Blocks this bucket's row degrees have been validated against,
+        # keyed by id with weak cleanup (buckets outliving their block
+        # must not pin it, and Block is unhashable).  The kernel layer
+        # checks degrees once per (bucket, block) pair instead of on
+        # every forward — see repro.kernels.csr.
+        self._validated_blocks: dict[int, weakref.ref] = {}
+
+    def validated_for(self, block) -> bool:
+        """Whether row degrees were already validated against ``block``."""
+        ref = self._validated_blocks.get(id(block))
+        return ref is not None and ref() is block
+
+    def mark_validated(self, block) -> None:
+        """Record that this bucket's rows validated against ``block``."""
+        key = id(block)
+        registry = self._validated_blocks
+
+        def _drop(_ref, _key=key, _registry=registry) -> None:
+            _registry.pop(_key, None)
+
+        registry[key] = weakref.ref(block, _drop)
 
     @property
     def volume(self) -> int:

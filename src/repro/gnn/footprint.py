@@ -74,6 +74,15 @@ class Footprint:
         )
 
 
+def _resolve_backend(backend: str | None) -> str:
+    """Backend name to model; ``None`` means the active kernel backend."""
+    if backend is not None:
+        return backend
+    from repro.kernels.dispatch import get_kernel_backend
+
+    return get_kernel_backend().name
+
+
 def aggregator_bucket_footprint(
     name: str,
     n: int,
@@ -83,6 +92,7 @@ def aggregator_bucket_footprint(
     *,
     input_requires_grad: bool = True,
     heads: int = 1,
+    backend: str | None = None,
 ) -> Footprint:
     """Footprint of aggregating one bucket of ``n`` nodes of degree ``d``.
 
@@ -92,6 +102,15 @@ def aggregator_bucket_footprint(
     require grad (the first layer's inputs are leaf features, so its
     gather dies right after the reduction); pool/LSTM/attention always
     retain it because their parameterized matmuls save it for backward.
+
+    ``backend`` selects the kernel backend being modeled (``None`` =
+    whichever is active, so Eq. 1-2 estimates follow the executed
+    path).  The **fused** backend never materializes the ``(n, d, f)``
+    gather for mean/sum/max/gcn/attention — its backward rebuilds the
+    CSR operator from block indices and borrows scratch from the
+    workspace arena (amortized across buckets, excluded from the
+    per-bucket live set) — so those retained-gather terms vanish;
+    pool/LSTM stay dense under every backend.
 
     Per-aggregator retained inventory (float32 = 4 B unless noted):
 
@@ -110,21 +129,42 @@ def aggregator_bucket_footprint(
         return Footprint.zero()
     b = FLOAT_BYTES
     irg = input_requires_grad
+    fused = _resolve_backend(backend) == "fused" and name in (
+        "mean",
+        "sum",
+        "max",
+        "gcn",
+        "attention",
+    )
     gather = n * d * in_dim * b
     if name in ("mean", "sum"):
         out = n * in_dim * b
-        act = out + (gather if irg else 0)
-        grad = (out + gather) if irg else 0
+        if fused:
+            # CSR segment-reduce: only the (n, f) output is retained;
+            # backward touches each source row once (A^T @ grad).
+            act = out
+            grad = out if irg else 0
+            dram = gather + out
+        else:
+            act = out + (gather if irg else 0)
+            grad = (out + gather) if irg else 0
+            dram = 2 * gather
         flops = n * d * in_dim
-        dram = 2 * gather
     elif name == "max":
         # Index bookkeeping (argmax) is treated as fused kernel state,
         # matching the ledger's convention of tracking float tensors.
         out = n * in_dim * b
-        act = out + (gather if irg else 0)
-        grad = (out + gather) if irg else 0
+        if fused:
+            # Output plus the int32 best-column tracker the backward
+            # closure keeps (same element count as the output).
+            act = out + (out if irg else 0)
+            grad = out if irg else 0
+            dram = gather + out
+        else:
+            act = out + (gather if irg else 0)
+            grad = (out + gather) if irg else 0
+            dram = 2 * gather
         flops = n * d * in_dim
-        dram = 2 * gather
     elif name == "pool":
         # matmul out + bias add + relu out, all (n, d, h); max out (n, h).
         mlp_acts = 3 * n * d * hidden * b
@@ -145,26 +185,40 @@ def aggregator_bucket_footprint(
         # Normalized sum: the (n, d, f) gather, its coefficient product,
         # and the (n, d, 1) coefficient tensor are retained only when
         # inputs require grad; the self-term gather/product and summed
-        # output (~3 arrays of (n, f)) persist either way.
+        # output (~3 arrays of (n, f)) persist either way.  The fused
+        # weighted-sum keeps only the coefficient vector — the operator
+        # is rebuilt from CSR indices in backward.
         out = 3 * n * in_dim * b
         coeff = n * d * b
-        act = out + (2 * gather + coeff if irg else 0)
-        grad = (out + 2 * gather) if irg else 0
+        if fused:
+            act = out + (coeff if irg else 0)
+            grad = out if irg else 0
+            dram = gather + coeff + out
+        else:
+            act = out + (2 * gather + coeff if irg else 0)
+            grad = (out + 2 * gather) if irg else 0
+            dram = 3 * gather
         flops = 3.0 * n * d * in_dim
-        dram = 3 * gather
     elif name == "attention":
         # nbr_proj + weighted (n, d, h) scale with the total width
         # (heads share it); the ~5 score/softmax arrays (n, d) are per
         # head; output (n, h).  Nearly everything is downstream of the
-        # projection weights, so grads mirror activations.
+        # projection weights, so grads mirror activations.  Fused
+        # attention drops the two (n, d, h) arrays — alpha and the
+        # scores stay retained (softmax backward needs them).
+        dense_ndh = 0 if fused else 2 * n * d * hidden * b
         act = (
-            2 * n * d * hidden * b
+            dense_ndh
             + 5 * n * d * b * heads
             + n * hidden * b
         )
         grad = act
         flops = 2.0 * n * d * hidden + 6.0 * n * d * heads
-        dram = 2 * n * d * hidden * b
+        dram = (
+            2 * n * d * hidden * b
+            if not fused
+            else n * d * hidden * b + n * hidden * b
+        )
     else:
         raise GraphError(f"unknown aggregator {name!r}")
     return Footprint(float(act), float(grad), float(flops), float(dram))
@@ -193,6 +247,7 @@ def layer_footprint(
     *,
     input_requires_grad: bool = True,
     heads: int = 1,
+    backend: str | None = None,
 ) -> Footprint:
     """Footprint of one full layer given the block's degree histogram.
 
@@ -204,7 +259,9 @@ def layer_footprint(
         input_requires_grad: False for the input-most layer (leaf
             features), True for every later layer.
         heads: attention heads (GAT only).
+        backend: kernel backend modeled (``None`` = active backend).
     """
+    backend = _resolve_backend(backend)
     total = Footprint.zero()
     n_dst = 0
     for degree, count in degree_histogram.items():
@@ -217,6 +274,7 @@ def layer_footprint(
             agg_hidden,
             input_requires_grad=input_requires_grad,
             heads=heads,
+            backend=backend,
         )
     if aggregator == "gcn":
         # GCN's combine is a single Linear (3 retained arrays vs SAGE's
@@ -261,8 +319,11 @@ def layer_footprint(
 def model_layer_footprints(
     blocks,
     spec: "ModelSpec",
+    *,
+    backend: str | None = None,
 ) -> list[Footprint]:
     """Per-layer footprints of running ``spec`` over chained ``blocks``."""
+    backend = _resolve_backend(backend)
     return [
         layer_footprint(
             degree_histogram_of_block(block),
@@ -272,6 +333,7 @@ def model_layer_footprints(
             spec.hidden_dim,
             input_requires_grad=(i > 0),
             heads=spec.heads,
+            backend=backend,
         )
         for i, (block, (f_in, f_out)) in enumerate(
             zip(blocks, spec.layer_dims())

@@ -11,9 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import GraphError
-from repro.gnn.aggregators import _bucket_neighbor_tensor
 from repro.gnn.block import Block
 from repro.gnn.bucketing import Bucket, bucketize_degrees
+from repro.kernels.csr import bucket_positions
+from repro.kernels.dispatch import get_kernel_backend
 from repro.nn import init
 from repro.nn.linear import Linear
 from repro.nn.module import Module, Parameter
@@ -67,6 +68,7 @@ class GATLayer(Module):
         dst_scores = projected @ self.attn_dst  # (n_src, 1)
         src_scores = projected @ self.attn_src  # (n_src, 1)
 
+        backend = get_kernel_backend()
         outputs: list[Tensor] = []
         covered: list[np.ndarray] = []
         for bucket in buckets:
@@ -75,22 +77,17 @@ class GATLayer(Module):
             if bucket.degree == 0:
                 outputs.append(proj_dst)
                 continue
-            nbr_proj = _bucket_neighbor_tensor(block, bucket, projected)
             # (n, d) attention logits.
             e_dst = gather_rows(dst_scores, bucket.rows)  # (n, 1)
-            starts = block.indptr[bucket.rows]
-            positions = block.indices[
-                starts[:, None] + np.arange(bucket.degree, dtype=starts.dtype)
-            ]
+            positions = bucket_positions(block, bucket)
             e_src = gather_rows(src_scores, positions).reshape(
                 bucket.volume, bucket.degree
             )
             logits = (e_dst + e_src).leaky_relu(self.negative_slope)
             alpha = softmax(logits, axis=1)  # (n, d)
-            weighted = nbr_proj * alpha.reshape(
-                bucket.volume, bucket.degree, 1
+            outputs.append(
+                backend.bucket_attention_sum(block, bucket, projected, alpha)
             )
-            outputs.append(weighted.sum(axis=1))
 
         stacked = outputs[0] if len(outputs) == 1 else concat(outputs, axis=0)
         order = np.concatenate(covered)

@@ -16,6 +16,8 @@ from repro.config import FLOAT_DTYPE
 from repro.errors import GraphError
 from repro.gnn.block import Block
 from repro.gnn.bucketing import Bucket, bucketize_degrees
+from repro.kernels.csr import bucket_positions
+from repro.kernels.dispatch import get_kernel_backend
 from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.tensor.ops import concat, gather_rows
@@ -73,6 +75,7 @@ class GCNLayer(Module):
                     f"({block.n_src},)"
                 )
 
+        backend = get_kernel_backend()
         outputs: list[Tensor] = []
         covered: list[np.ndarray] = []
         for bucket in buckets:
@@ -84,21 +87,17 @@ class GCNLayer(Module):
             if d == 0:
                 outputs.append(self_term)
                 continue
-            starts = block.indptr[bucket.rows]
-            positions = block.indices[
-                starts[:, None] + np.arange(d, dtype=starts.dtype)
-            ]
-            nbrs = gather_rows(src_feats, positions)  # (n, d, f)
+            positions = bucket_positions(block, bucket)
             coeff = (
                 1.0
                 / np.sqrt(
                     (d + 1.0) * (src_degrees[positions] + 1.0)
                 )
             ).astype(FLOAT_DTYPE)
-            weighted = nbrs * Tensor(
-                coeff[:, :, None], device=src_feats.device
+            neigh = backend.bucket_weighted_sum(
+                block, bucket, src_feats, coeff
             )
-            outputs.append(weighted.sum(axis=1) + self_term)
+            outputs.append(neigh + self_term)
 
         stacked = outputs[0] if len(outputs) == 1 else concat(outputs, axis=0)
         order = np.concatenate(covered)

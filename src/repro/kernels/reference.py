@@ -1,0 +1,69 @@
+"""Reference kernel backend: the dense-gather semantics, verbatim.
+
+This backend reproduces — op for op, allocation for allocation — what
+the aggregators and layers did before the kernel layer existed: gather
+the ``(n, d, f)`` neighbor tensor with :func:`gather_rows`, then reduce
+with stock :class:`Tensor` ops.  Because every op is the same autograd
+op in the same order, ``--kernel-backend reference`` is bit-for-bit
+identical to the pre-kernel-layer code (asserted by
+``tests/kernels/test_differential.py``), which is what makes it the
+oracle the fused backend is differentially tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.block import Block
+from repro.gnn.bucketing import Bucket
+from repro.kernels.base import KernelBackend
+from repro.kernels.csr import bucket_positions
+from repro.tensor.ops import gather_rows
+from repro.tensor.tensor import Tensor
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(KernelBackend):
+    """Dense ``(n, d, f)`` gather + stock Tensor reductions."""
+
+    name = "reference"
+
+    def neighbor_tensor(
+        self, block: Block, bucket: Bucket, src_feats: Tensor
+    ) -> Tensor:
+        positions = bucket_positions(block, bucket)
+        return gather_rows(src_feats, positions)
+
+    def bucket_reduce(
+        self, block: Block, bucket: Bucket, src_feats: Tensor, op: str
+    ) -> Tensor:
+        self._check_op(op)
+        nbrs = self.neighbor_tensor(block, bucket, src_feats)
+        if op == "mean":
+            return nbrs.mean(axis=1)
+        if op == "max":
+            return nbrs.max(axis=1)
+        return nbrs.sum(axis=1)
+
+    def bucket_weighted_sum(
+        self,
+        block: Block,
+        bucket: Bucket,
+        src_feats: Tensor,
+        coeff: np.ndarray,
+    ) -> Tensor:
+        nbrs = self.neighbor_tensor(block, bucket, src_feats)
+        weighted = nbrs * Tensor(coeff[:, :, None], device=src_feats.device)
+        return weighted.sum(axis=1)
+
+    def bucket_attention_sum(
+        self,
+        block: Block,
+        bucket: Bucket,
+        src_feats: Tensor,
+        alpha: Tensor,
+    ) -> Tensor:
+        nbrs = self.neighbor_tensor(block, bucket, src_feats)
+        weighted = nbrs * alpha.reshape(bucket.volume, bucket.degree, 1)
+        return weighted.sum(axis=1)

@@ -55,6 +55,13 @@ METRIC_NAMES = frozenset(
         "buffalo.feature_cache.misses",
         "buffalo.feature_cache.pinned_rows",
         "buffalo.feature_cache.hit_rate",
+        # kernel layer (kernels/workspace.py, kernels/fused.py)
+        "buffalo.kernel.workspace_bytes",
+        "buffalo.kernel.workspace_peak_bytes",
+        "buffalo.kernel.workspace_hits",
+        "buffalo.kernel.workspace_allocs",
+        "buffalo.kernel.reduce_calls",
+        "buffalo.kernel.dense_fallbacks",
         # out-of-core store (store/feature_store.py, store/prefetch.py)
         "buffalo.store.prefetch_iterations",
         "buffalo.store.peak_resident_bytes",

@@ -57,6 +57,7 @@ class TestRegistry:
         assert set(rule_names()) == {
             "dtype-promotion",
             "error-context",
+            "hot-alloc",
             "lock-discipline",
             "memmap-copy",
             "metric-name",

@@ -1,0 +1,42 @@
+"""Shared fixtures: synthetic blocks/buckets for kernel-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench.kernels import make_cutoff_bucket_workload
+from repro.config import FLOAT_DTYPE
+from repro.gnn.block import Block
+from repro.gnn.bucketing import bucketize_degrees
+
+
+@pytest.fixture()
+def cutoff_workload():
+    """One cut-off bucket: 64 rows, all degree 6, 8 features."""
+    return make_cutoff_bucket_workload(
+        n_rows=64, degree=6, feat_dim=8, seed=3
+    )
+
+
+@pytest.fixture()
+def mixed_block():
+    """A block with degrees 0..5 plus the buckets over it.
+
+    Covers every boundary the differential suite needs: an empty
+    (degree-0) bucket, a degree-1 bucket, and a multi-row "cut-off"
+    bucket, all over one shared source feature matrix.
+    """
+    rng = np.random.default_rng(7)
+    n_dst, n_src = 40, 90
+    degrees = np.repeat(np.arange(6), 40 // 6 + 1)[:n_dst]
+    rng.shuffle(degrees)
+    indptr = np.concatenate([[0], np.cumsum(degrees)])
+    indices = rng.integers(0, n_src, size=int(indptr[-1]))
+    block = Block(
+        src_nodes=np.arange(n_src),
+        dst_nodes=np.arange(n_dst),
+        indptr=indptr,
+        indices=indices,
+    )
+    buckets = bucketize_degrees(degrees, cutoff=5)
+    feats = rng.standard_normal((n_src, 8)).astype(FLOAT_DTYPE)
+    return block, buckets, feats

@@ -1,0 +1,83 @@
+"""Unit tests for the Workspace scratch arena."""
+
+import numpy as np
+
+from repro.kernels import Workspace
+from repro.obs.metrics import get_metrics
+
+
+class TestRequest:
+    def test_shape_and_dtype(self):
+        ws = Workspace()
+        buf = ws.request("a", (3, 4), np.float32)
+        assert buf.shape == (3, 4)
+        assert buf.dtype == np.float32
+
+    def test_same_name_reuses_allocation(self):
+        ws = Workspace()
+        first = ws.request("a", (8,), np.float32)
+        again = ws.request("a", (8,), np.float32)
+        assert again.base is first.base or again.base is first
+        assert ws.allocs == 1
+        assert ws.hits == 1
+
+    def test_shrinking_request_is_a_view_of_same_buffer(self):
+        ws = Workspace()
+        ws.request("a", (16,), np.float32)
+        small = ws.request("a", (4,), np.float32)
+        assert small.size == 4
+        assert ws.allocs == 1
+        assert ws.hits == 1
+
+    def test_growth_is_geometric(self):
+        ws = Workspace()
+        ws.request("a", (100,), np.float32)
+        ws.request("a", (101,), np.float32)
+        # 101 > 100 forces a realloc, but capacity jumps to 150 so the
+        # next few growing requests are free.
+        assert ws.allocs == 2
+        ws.request("a", (150,), np.float32)
+        assert ws.allocs == 2
+        assert ws.hits == 1
+
+    def test_dtype_change_reallocates(self):
+        ws = Workspace()
+        ws.request("a", (8,), np.float32)
+        buf = ws.request("a", (8,), np.int64)
+        assert buf.dtype == np.int64
+        assert ws.allocs == 2
+
+    def test_distinct_names_never_alias(self):
+        ws = Workspace()
+        a = ws.request("a", (8,), np.float32)
+        b = ws.request("b", (8,), np.float32)
+        a.fill(1.0)
+        b.fill(2.0)
+        assert np.all(a == 1.0)
+
+    def test_peak_bytes_tracks_high_water(self):
+        ws = Workspace()
+        ws.request("a", (256,), np.float32)
+        peak = ws.peak_bytes
+        assert peak >= 256 * 4
+        ws.clear()
+        ws.request("a", (4,), np.float32)
+        assert ws.peak_bytes == peak  # monotonic
+
+    def test_clear_drops_buffers(self):
+        ws = Workspace()
+        ws.request("a", (8,), np.float32)
+        ws.clear()
+        assert ws.nbytes == 0
+
+
+class TestGroupMetrics:
+    def test_end_group_publishes_gauges(self):
+        registry = get_metrics()
+        ws = Workspace(name="test-arena")
+        ws.request("a", (64,), np.float32)
+        ws.end_group()
+        assert (
+            registry.get("buffalo.kernel.workspace_bytes").value >= 64 * 4
+        )
+        assert registry.get("buffalo.kernel.workspace_allocs").value >= 1
