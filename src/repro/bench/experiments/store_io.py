@@ -33,7 +33,12 @@ from repro.bench.reporting import format_table
 from repro.bench.workloads import DEFAULT_FANOUTS, load_bench, standard_spec
 from repro.core.api import BuffaloTrainer
 from repro.device.device import SimulatedGPU
+from repro.obs.metrics import Histogram
 from repro.store import FeatureStore, build_store
+
+#: Quarter-decade log-spaced latency buckets, 1 ns .. ~10 s — fine
+#: enough that the interpolated p95 tracks the exact one closely.
+_LATENCY_BUCKETS = tuple(float(10 ** (e / 4.0)) for e in range(-36, 5))
 
 
 def _gather_trace(dataset, *, seed: int, n_seeds: int, target_k: int):
@@ -71,15 +76,20 @@ def _gather_trace(dataset, *, seed: int, n_seeds: int, target_k: int):
 
 
 def _time_backend(gather, sets, repeats: int):
-    """Mean and p95 per-gather latency over ``repeats`` trace replays."""
-    lat: list[float] = []
+    """Mean and p95 per-gather latency over ``repeats`` trace replays.
+
+    The p95 comes from the shared streaming-quantile helper
+    (:meth:`repro.obs.metrics.Histogram.quantile`) so the experiment
+    and the live ``buffalo.store.gather_s`` histogram agree on method;
+    the mean is exact (tracked sum/count).
+    """
+    hist = Histogram("store_io.gather_s", _LATENCY_BUCKETS)
     for _ in range(repeats):
         for ids in sets:
             start = time.perf_counter()
             gather(ids)
-            lat.append(time.perf_counter() - start)
-    arr = np.array(lat)
-    return float(arr.mean()), float(np.percentile(arr, 95))
+            hist.observe(time.perf_counter() - start)
+    return float(hist.mean), float(hist.quantile(0.95))
 
 
 def run(

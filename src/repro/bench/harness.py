@@ -34,6 +34,31 @@ class ExperimentOutput:
         )
 
 
+def ledger_record_from_output(
+    output: ExperimentOutput,
+    *,
+    config: dict[str, Any] | None = None,
+    floors: dict[str, float] | None = None,
+):
+    """Convert an experiment's output into a run-ledger record.
+
+    Numeric leaves of ``output.data`` flatten to dotted metric names;
+    shape checks become 0/1 metrics under ``shape.`` so a shape
+    regression is visible in ``repro ledger compare`` output.
+    """
+    from repro.obs.observatory.ledger import LedgerRecord, flatten_numeric
+
+    metrics = flatten_numeric(output.data)
+    for check, ok in sorted(output.shape_checks.items()):
+        metrics[f"shape.{check}"] = 1.0 if ok else 0.0
+    return LedgerRecord(
+        name=output.name,
+        config=dict(config or {}),
+        metrics=metrics,
+        floors=dict(floors or {}),
+    )
+
+
 def run_guarded(fn: Callable[[], Any]) -> tuple[str, Any]:
     """Run ``fn`` capturing the failure modes experiments report.
 

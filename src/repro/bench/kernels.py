@@ -244,3 +244,28 @@ def write_bench_json(result: dict[str, Any], path: str | Path) -> Path:
     path = Path(path)
     path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def ledger_record_from_kernel_result(
+    result: dict[str, Any],
+    *,
+    gate_ops: Iterable[str] = ("sum", "mean"),
+    min_speedup: float = CI_MIN_SPEEDUP,
+):
+    """Convert a :func:`run_kernel_bench` result into a ledger record.
+
+    The old ad-hoc gate (:func:`check_regression`) becomes ledger
+    floors: ``ops.<op>.speedup >= min_speedup`` for the gated ops, so
+    ``repro ledger check`` reproduces the CI perf-smoke behavior while
+    also enabling cross-run comparison against a checked-in baseline.
+    """
+    from repro.obs.observatory.ledger import LedgerRecord, flatten_numeric
+
+    metrics = flatten_numeric(result.get("ops", {}), "ops")
+    floors = {f"ops.{op}.speedup": float(min_speedup) for op in gate_ops}
+    return LedgerRecord(
+        name="kernels",
+        config=dict(result.get("workload", {})),
+        metrics=metrics,
+        floors=floors,
+    )

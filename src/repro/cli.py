@@ -10,9 +10,14 @@ Subcommands::
     python -m repro store build cora.npz cora.store  # convert to a store
     python -m repro store info cora.store       # inspect a store
     python -m repro trace summarize t.jsonl     # per-phase breakdown
+    python -m repro trace timeline mem.jsonl    # four-tier memory view
+    python -m repro trace critical-path t.jsonl --folded out.folded
     python -m repro experiment fig10            # regenerate a figure
     python -m repro experiment --list
     python -m repro bench kernels --check       # kernel perf gate
+    python -m repro ledger show benchmarks/ledger/kernels.jsonl
+    python -m repro ledger compare A.jsonl@0 A.jsonl  # regression diff
+    python -m repro ledger check R.jsonl --baseline B.jsonl
 """
 
 from __future__ import annotations
@@ -142,6 +147,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--data-store run; the hot cache shrinks to fit",
     )
     _add_obs_flags(train)
+    train.add_argument(
+        "--ledger",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="append a run-ledger record (phases, memory peaks, "
+        "metrics) to PATH (default: benchmarks/ledger/train.jsonl)",
+    )
+    train.add_argument(
+        "--timeline",
+        default=None,
+        metavar="PATH",
+        help="record a per-micro-batch four-tier memory timeline "
+        "(device/store/cache/workspace) as JSONL to PATH",
+    )
 
     schedule = sub.add_parser(
         "schedule", help="show Buffalo's plan for one batch"
@@ -203,15 +224,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace", help="inspect a JSONL trace produced by --trace"
     )
     trace.add_argument(
-        "action", choices=["summarize"], help="what to do with the trace"
+        "action",
+        choices=["summarize", "timeline", "critical-path"],
+        help="summarize: per-phase breakdown; timeline: render a "
+        "--timeline memory file; critical-path: wall-time attribution "
+        "plus folded-stacks export",
     )
-    trace.add_argument("path", help="JSONL trace file")
+    trace.add_argument("path", help="JSONL trace (or timeline) file")
+    trace.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit CSV instead of the ASCII table (timeline)",
+    )
+    trace.add_argument(
+        "--folded",
+        default=None,
+        metavar="PATH",
+        help="write folded stacks for flamegraph tools (critical-path)",
+    )
+    trace.add_argument(
+        "--main-thread",
+        default=None,
+        metavar="NAME",
+        help="critical-path main thread override (default: thread of "
+        "the longest root span)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
     )
     experiment.add_argument("name", nargs="?", default=None)
     experiment.add_argument("--list", action="store_true", dest="list_all")
+    experiment.add_argument(
+        "--ledger",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="append the experiment's numeric results as a ledger "
+        "record (default: benchmarks/ledger/<name>.jsonl)",
+    )
 
     bench = sub.add_parser(
         "bench", help="machine-readable micro-benchmarks (BENCH_*.json)"
@@ -238,6 +290,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit 1 when fused is >10%% slower than reference on "
         "sum/mean (best-of---repeats; the CI perf-smoke gate)",
     )
+    bench_kernels.add_argument(
+        "--ledger",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="append the result as a ledger record "
+        "(default: benchmarks/ledger/kernels.jsonl)",
+    )
+    bench_kernels.add_argument(
+        "--baseline",
+        default=None,
+        metavar="RECORD",
+        help="with --check, also compare against a baseline ledger "
+        "record (PATH or PATH@INDEX) and fail on cross-run regressions",
+    )
+
+    ledger = sub.add_parser(
+        "ledger", help="cross-run performance ledger (docs/observatory.md)"
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    ledger_show = ledger_sub.add_parser(
+        "show", help="print one ledger record"
+    )
+    ledger_show.add_argument(
+        "record", help="ledger PATH or PATH@INDEX (default: last record)"
+    )
+    ledger_compare = ledger_sub.add_parser(
+        "compare",
+        help="per-metric delta table of two records; exit 1 on "
+        "regressions beyond thresholds",
+    )
+    ledger_compare.add_argument("base", help="baseline PATH[@INDEX]")
+    ledger_compare.add_argument("new", help="candidate PATH[@INDEX]")
+    _add_threshold_flags(ledger_compare)
+    ledger_check = ledger_sub.add_parser(
+        "check",
+        help="gate a record against its recorded floors and, with "
+        "--baseline, against another record",
+    )
+    ledger_check.add_argument("record", help="candidate PATH[@INDEX]")
+    ledger_check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="RECORD",
+        help="baseline PATH[@INDEX] for a cross-run comparison",
+    )
+    _add_threshold_flags(ledger_check)
 
     lint = sub.add_parser(
         "lint",
@@ -317,6 +417,62 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write a metrics snapshot as JSON to PATH",
     )
+
+
+def _add_threshold_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--wall-tol",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="phase wall-time regression tolerance (default 0.25)",
+    )
+    parser.add_argument(
+        "--peak-tol",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="peak-bytes regression tolerance (default 0.05)",
+    )
+    parser.add_argument(
+        "--metric-tol",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="other-metric regression tolerance (default 0.10)",
+    )
+
+
+def _thresholds_from_args(args):
+    from repro.obs.observatory.ledger import Thresholds
+
+    defaults = Thresholds()
+    return Thresholds(
+        wall_tol=(
+            defaults.wall_tol if args.wall_tol is None else args.wall_tol
+        ),
+        peak_tol=(
+            defaults.peak_tol if args.peak_tol is None else args.peak_tol
+        ),
+        metric_tol=(
+            defaults.metric_tol
+            if args.metric_tol is None
+            else args.metric_tol
+        ),
+    )
+
+
+def _resolve_ledger_path(value: str | None, default_name: str) -> str | None:
+    """``--ledger`` flag value -> concrete path (None when absent)."""
+    if value is None:
+        return None
+    if value == "auto":
+        import os
+
+        from repro.obs.observatory.ledger import DEFAULT_LEDGER_DIR
+
+        return os.path.join(DEFAULT_LEDGER_DIR, f"{default_name}.jsonl")
+    return value
 
 
 @contextlib.contextmanager
@@ -405,6 +561,73 @@ def _cmd_datasets(args) -> int:
         )
     )
     return 0
+
+
+def _train_ledger_record(args, trainer, recorder, fanouts):
+    """Assemble the run-ledger record of one ``repro train`` invocation.
+
+    Lives here (not in ``repro.obs``) because only the CLI sees the
+    whole wiring: the trainer facade, its tiered memory sources, and
+    the metrics registry of exactly this run.
+    """
+    from repro.obs import get_metrics
+    from repro.obs.observatory.ledger import LedgerRecord
+
+    config = {
+        "command": "train",
+        "dataset": args.dataset,
+        "data_store": bool(args.data_store),
+        "scale": args.scale,
+        "aggregator": args.aggregator,
+        "hidden": args.hidden,
+        "layers": args.layers,
+        "fanouts": fanouts,
+        "budget_gb": args.budget_gb,
+        "epochs": args.epochs,
+        "batch_size": args.batch_size,
+        "seed": args.seed,
+        "pipeline_depth": args.pipeline_depth,
+        "pipeline_mode": args.pipeline_mode,
+        "reuse_features": args.reuse_features,
+        "kernel_backend": args.kernel_backend,
+    }
+    peaks: dict[str, float] = {
+        "device": float(recorder.device_peak_bytes)
+    }
+    if trainer.store is not None:
+        peaks["store"] = float(trainer.store.peak_resident_bytes)
+    if trainer.feature_cache is not None:
+        peaks["cache"] = float(trainer.feature_cache.resident_bytes)
+    workspace = getattr(trainer.trainer.kernel, "workspace", None)
+    if workspace is not None:
+        peaks["workspace"] = float(workspace.peak_bytes)
+
+    metrics: dict[str, float] = {}
+    for name, payload in get_metrics().snapshot().items():
+        if payload["type"] in ("counter", "gauge"):
+            metrics[name] = float(payload["value"])
+        elif payload["type"] == "histogram" and payload["count"]:
+            metrics[f"{name}.mean"] = float(payload["mean"])
+            if payload.get("p95") is not None:
+                metrics[f"{name}.p95"] = float(payload["p95"])
+    if trainer.telemetry.samples:
+        metrics["estimator.mean_abs_rel_error"] = float(
+            trainer.telemetry.mean_abs_rel_error()
+        )
+    if trainer.feature_cache is not None:
+        metrics["feature_cache.hit_rate"] = float(
+            trainer.feature_cache.hit_rate
+        )
+    if trainer.store is not None:
+        metrics["store.hot_hit_rate"] = float(trainer.store.hot_hit_rate)
+        metrics["store.disk_bytes_read"] = float(trainer.store.bytes_read)
+    return LedgerRecord(
+        name="train",
+        config=config,
+        phases=recorder.phases(),
+        peaks=peaks,
+        metrics=metrics,
+    )
 
 
 def _cmd_train(args) -> int:
@@ -498,22 +721,65 @@ def _cmd_train(args) -> int:
         f"{source} under {args.budget_gb:.0f} GB-equivalent "
         f"({device.capacity / 2**20:.0f} MiB)"
     )
-    with _observability(
-        args,
-        {"estimator_accuracy": lambda: trainer.telemetry.to_dict()},
-    ):
-        for result in loop.run(args.epochs):
-            val = (
-                f"  val_acc={result.val_accuracy:.3f}"
-                if result.val_accuracy is not None
-                else ""
+    ledger_path = _resolve_ledger_path(args.ledger, "train")
+    recorder = None
+    recorder_sink = None
+    if ledger_path is not None:
+        from repro.obs import get_metrics, get_tracer
+        from repro.obs.observatory.ledger import RunRecorder
+        from repro.obs.trace import CallbackSink
+
+        get_metrics().reset()
+        recorder = RunRecorder()
+        recorder_sink = get_tracer().add_sink(
+            CallbackSink(recorder.consume)
+        )
+    if args.timeline is not None:
+        trainer.attach_timeline()
+    try:
+        with _observability(
+            args,
+            {"estimator_accuracy": lambda: trainer.telemetry.to_dict()},
+        ):
+            for result in loop.run(args.epochs):
+                val = (
+                    f"  val_acc={result.val_accuracy:.3f}"
+                    if result.val_accuracy is not None
+                    else ""
+                )
+                print(
+                    f"epoch {result.epoch}: loss={result.mean_loss:.4f}"
+                    f"  batches={result.n_batches}"
+                    f"  micro-batches={result.total_micro_batches}"
+                    f"  wall={result.wall_s:.2f}s{val}"
+                )
+    finally:
+        if recorder_sink is not None:
+            from repro.obs import get_tracer
+
+            get_tracer().remove_sink(recorder_sink)
+    if args.timeline is not None and trainer.timeline is not None:
+        try:
+            trainer.timeline.to_jsonl(args.timeline)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write timeline to {args.timeline}: {exc}"
             )
-            print(
-                f"epoch {result.epoch}: loss={result.mean_loss:.4f}"
-                f"  batches={result.n_batches}"
-                f"  micro-batches={result.total_micro_batches}"
-                f"  wall={result.wall_s:.2f}s{val}"
+        print(
+            f"timeline written to {args.timeline} "
+            f"({len(trainer.timeline.samples)} samples)"
+        )
+    if recorder is not None:
+        from repro.obs.observatory.ledger import append_record
+
+        record = _train_ledger_record(args, trainer, recorder, fanouts)
+        try:
+            append_record(ledger_path, record)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write ledger to {ledger_path}: {exc}"
             )
+        print(f"ledger record appended to {ledger_path}")
     if trainer.feature_cache is not None:
         print(
             f"feature-cache hit rate: {trainer.feature_cache.hit_rate:.1%}"
@@ -626,13 +892,66 @@ def _cmd_trace(args) -> int:
     import json
     from pathlib import Path
 
-    from repro.obs.summarize import render_summary, summarize_file
+    from repro.obs.trace import TraceReadError
 
     if not Path(args.path).is_file():
         raise SystemExit(f"no such trace file: {args.path}")
+
+    if args.action == "timeline":
+        from repro.obs.observatory.timeline import (
+            TimelineError,
+            load_timeline,
+            render_timeline,
+        )
+
+        try:
+            samples = load_timeline(args.path)
+        except (TimelineError, TraceReadError) as exc:
+            raise SystemExit(
+                f"{args.path} is not a timeline file: {exc}"
+            )
+        if not samples:
+            raise SystemExit(f"{args.path} contains no timeline samples")
+        print(render_timeline(samples, csv=args.csv))
+        return 0
+
+    if args.action == "critical-path":
+        from repro.obs.observatory.critical_path import (
+            CriticalPathError,
+            build_critical_path,
+            render_critical_path,
+            write_folded_stacks,
+        )
+        from repro.obs.trace import read_trace_events
+
+        try:
+            events, skipped = read_trace_events(args.path)
+            report = build_critical_path(
+                events, main_thread=args.main_thread
+            )
+        except (TraceReadError, CriticalPathError) as exc:
+            raise SystemExit(f"cannot analyze {args.path}: {exc}")
+        print(render_critical_path(report))
+        if skipped is not None:
+            print(
+                f"note: skipped torn trailing line {skipped} "
+                f"(partial write)"
+            )
+        if args.folded:
+            try:
+                n = write_folded_stacks(report, args.folded)
+            except OSError as exc:
+                raise SystemExit(
+                    f"cannot write folded stacks to {args.folded}: {exc}"
+                )
+            print(f"folded stacks ({n} lines) written to {args.folded}")
+        return 0
+
+    from repro.obs.summarize import render_summary, summarize_file
+
     try:
         summary = summarize_file(args.path)
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, TraceReadError) as exc:
         raise SystemExit(f"{args.path} is not a JSONL trace: {exc}")
     print(render_summary(summary, title=f"trace summary: {args.path}"))
     return 0
@@ -690,7 +1009,7 @@ def _cmd_lint(args) -> int:
     return 0 if result.ok else 1
 
 
-def _run_one_experiment(name: str) -> bool:
+def _run_one_experiment(name: str, *, ledger: str | None = None) -> bool:
     module = importlib.import_module(f"repro.bench.experiments.{name}")
     output = module.run()
     print(output.table)
@@ -698,6 +1017,19 @@ def _run_one_experiment(name: str) -> bool:
     for check, ok in output.shape_checks.items():
         print(f"  [{'PASS' if ok else 'FAIL'}] {check}")
     print()
+    if ledger is not None:
+        from repro.bench.harness import ledger_record_from_output
+        from repro.obs.observatory.ledger import append_record
+
+        ledger_path = _resolve_ledger_path(ledger, output.name)
+        record = ledger_record_from_output(output)
+        try:
+            append_record(ledger_path, record)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write ledger to {ledger_path}: {exc}"
+            )
+        print(f"ledger record appended to {ledger_path}")
     return all(output.shape_checks.values())
 
 
@@ -722,14 +1054,22 @@ def _cmd_experiment(args) -> int:
             f"unknown experiment {args.name!r}; "
             f"see `repro experiment --list`"
         )
-    return 0 if _run_one_experiment(args.name) else 1
+    return 0 if _run_one_experiment(args.name, ledger=args.ledger) else 1
 
 
 def _cmd_bench(args) -> int:
     from repro.bench.kernels import (
-        check_regression,
+        ledger_record_from_kernel_result,
         run_kernel_bench,
         write_bench_json,
+    )
+    from repro.obs.observatory.ledger import (
+        LedgerError,
+        append_record,
+        check_floors,
+        compare_records,
+        render_comparison,
+        resolve_record_spec,
     )
 
     _require_positive(args.rows, "--rows")
@@ -752,14 +1092,90 @@ def _cmd_bench(args) -> int:
             f"  scratch ratio {per_op['scratch_ratio']:.2f}"
         )
     print(f"results written to {path}")
+    # The kernels gate runs on the ledger path: the result becomes a
+    # LedgerRecord whose floors reproduce the old check_regression
+    # behavior, and --baseline adds a cross-run comparison.
+    record = ledger_record_from_kernel_result(result)
+    ledger_path = _resolve_ledger_path(args.ledger, "kernels")
+    if ledger_path is not None:
+        try:
+            append_record(ledger_path, record)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write ledger to {ledger_path}: {exc}"
+            )
+        print(f"ledger record appended to {ledger_path}")
     if args.check:
-        failures = check_regression(result)
+        failures = check_floors(record)
+        if args.baseline is not None:
+            try:
+                baseline = resolve_record_spec(args.baseline)
+            except LedgerError as exc:
+                raise SystemExit(f"error: {exc}")
+            comparison = compare_records(baseline, record)
+            print(render_comparison(comparison))
+            failures.extend(
+                f"vs baseline: {d.name} "
+                f"{_fmt_delta(d)}"
+                for d in comparison.regressions
+            )
         if failures:
             for failure in failures:
                 print(f"PERF REGRESSION: {failure}", file=sys.stderr)
             return 1
         print("perf gate passed (fused within floor on sum/mean)")
     return 0
+
+
+def _fmt_delta(delta) -> str:
+    rel = delta.rel_delta
+    rel_text = "" if rel is None else f" ({100.0 * rel:+.1f}%)"
+    return f"{delta.base:.6g} -> {delta.new:.6g}{rel_text}"
+
+
+def _cmd_ledger(args) -> int:
+    from repro.obs.observatory.ledger import (
+        LedgerError,
+        check_floors,
+        compare_records,
+        render_comparison,
+        render_record,
+        resolve_record_spec,
+    )
+
+    try:
+        if args.ledger_command == "show":
+            print(render_record(resolve_record_spec(args.record)))
+            return 0
+        if args.ledger_command == "compare":
+            base = resolve_record_spec(args.base)
+            new = resolve_record_spec(args.new)
+            comparison = compare_records(
+                base, new, _thresholds_from_args(args)
+            )
+            print(render_comparison(comparison))
+            return 0 if comparison.ok else 1
+        # check
+        record = resolve_record_spec(args.record)
+        failures = check_floors(record)
+        if args.baseline is not None:
+            baseline = resolve_record_spec(args.baseline)
+            comparison = compare_records(
+                baseline, record, _thresholds_from_args(args)
+            )
+            print(render_comparison(comparison))
+            failures.extend(
+                f"vs baseline: {d.name} {_fmt_delta(d)}"
+                for d in comparison.regressions
+            )
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("ledger check passed")
+        return 0
+    except LedgerError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -773,6 +1189,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
         "bench": _cmd_bench,
+        "ledger": _cmd_ledger,
         "lint": _cmd_lint,
     }
     from repro.errors import DatasetError

@@ -226,7 +226,34 @@ class BuffaloTrainer:
                 threaded=self.pipeline_config.threaded,
             )
         self.telemetry = EstimatorTelemetry()
+        self.timeline = None
         self._iteration = 0
+
+    # ------------------------------------------------------------------
+    def attach_timeline(self, *, max_samples: int = 100_000):
+        """Attach a four-tier memory timeline recorder to this trainer.
+
+        Wires the recorder to the device allocation ledger, the
+        out-of-core feature store (when present), the feature-reuse
+        cache (when enabled), and the kernel workspace arena; the
+        micro-batch trainer samples after every micro-batch.  Returns
+        the recorder.
+        """
+        from repro.obs.observatory.timeline import MemoryTimelineRecorder
+
+        self.timeline = MemoryTimelineRecorder(
+            device=self.device,
+            store=self.store,
+            cache=self.feature_cache,
+            workspace=getattr(self.trainer.kernel, "workspace", None),
+            max_samples=max_samples,
+        )
+        self.trainer.timeline = self.timeline
+        return self.timeline
+
+    def detach_timeline(self) -> None:
+        self.timeline = None
+        self.trainer.timeline = None
 
     # ------------------------------------------------------------------
     def _plan_batch(
@@ -310,6 +337,8 @@ class BuffaloTrainer:
         last_oom: DeviceOutOfMemoryError | None = None
         tracer = get_tracer()
         metrics = get_metrics()
+        if self.timeline is not None:
+            self.timeline.begin_iteration(self._iteration)
         for attempt in range(max_oom_retries + 1):
             with tracer.span(
                 "buffalo.iteration",
@@ -431,6 +460,8 @@ class BuffaloTrainer:
                 plan.estimated_bytes,
                 result.micro_batch_peaks,
             )
+            if self.timeline is not None:
+                self.timeline.sample("iteration_end")
             self._iteration += 1
             return IterationReport(
                 result=result,

@@ -106,6 +106,9 @@ class MicroBatchTrainer:
         self.device = device
         self.kernel = resolve_backend(kernel_backend)
         self.reuse = None
+        # Optional MemoryTimelineRecorder (obs.observatory.timeline);
+        # None keeps the hot path at a single attribute check.
+        self.timeline = None
         if device is not None:
             model.to_device(device)
 
@@ -213,6 +216,8 @@ class MicroBatchTrainer:
             if self.device is not None:
                 peak = self.device.peak_bytes
                 mb_span.set_attr("peak_bytes", peak)
+            if self.timeline is not None:
+                self.timeline.sample("micro_batch")
         # Release the autograd graph (activations) before the next
         # micro-batch — the point of output-layer partitioning.
         del logits, partial, input_feats

@@ -21,6 +21,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
     get_metrics,
     set_metrics,
 )
@@ -31,16 +32,20 @@ from repro.obs.schema import (
     validate_trace_file,
 )
 from repro.obs.trace import (
+    CallbackSink,
     JsonlFileSink,
     ListSink,
     Span,
+    TraceReadError,
     Tracer,
     get_tracer,
+    read_trace_events,
     set_tracer,
 )
 
 __all__ = [
     "BYTE_BUCKETS",
+    "CallbackSink",
     "Counter",
     "ESTIMATOR_ERROR_BUCKETS",
     "EstimatorTelemetry",
@@ -54,9 +59,12 @@ __all__ = [
     "SMALL_COUNT_BUCKETS",
     "SchemaError",
     "Span",
+    "TraceReadError",
     "Tracer",
+    "bucket_quantile",
     "get_metrics",
     "get_tracer",
+    "read_trace_events",
     "set_metrics",
     "set_tracer",
     "validate_event",

@@ -24,6 +24,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "bucket_quantile",
     "get_metrics",
     "set_metrics",
     "ESTIMATOR_ERROR_BUCKETS",
@@ -48,6 +49,58 @@ BYTE_BUCKETS = tuple(float(4**i * 1024) for i in range(13))
 # Wall-clock durations from 10 µs to 100 s (gather latency, staging,
 # queue waits) in decade steps.
 SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0)
+
+
+def bucket_quantile(
+    edges: tuple[float, ...],
+    counts: list[int],
+    q: float,
+    *,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float | None:
+    """Estimate quantile ``q`` from fixed-bucket counts.
+
+    ``counts`` has ``len(edges) + 1`` entries (trailing overflow
+    bucket); bucket ``i`` covers ``(edges[i-1], edges[i]]``.  The
+    estimate interpolates linearly within the containing bucket; the
+    open-ended first/overflow buckets — and interior edges — are
+    clamped to the observed ``minimum``/``maximum`` when provided, so
+    quantiles never fall outside the observed range.
+
+    Returns ``None`` when no observations have been recorded.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ReproError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    target = q * total
+    cumulative = 0
+    for i, n in enumerate(counts):
+        if n == 0:
+            continue
+        if cumulative + n >= target:
+            # Bucket bounds: (lo, hi], open at the ends.
+            lo = edges[i - 1] if i > 0 else (
+                minimum if minimum is not None else edges[0]
+            )
+            hi = edges[i] if i < len(edges) else (
+                maximum if maximum is not None else edges[-1]
+            )
+            if minimum is not None:
+                lo = max(lo, minimum)
+                hi = max(hi, minimum)
+            if maximum is not None:
+                lo = min(lo, maximum)
+                hi = min(hi, maximum)
+            fraction = (target - cumulative) / n
+            return lo + (hi - lo) * fraction
+        cumulative += n
+    # q == 1.0 with floating-point slack: top of the last occupied bucket.
+    if maximum is not None:
+        return maximum
+    return edges[-1]
 
 
 class Counter:
@@ -173,6 +226,16 @@ class Histogram:
         self._min = math.inf
         self._max = -math.inf
 
+    def quantile(self, q: float) -> float | None:
+        """Streaming quantile estimate interpolated over the buckets."""
+        return bucket_quantile(
+            self.buckets,
+            self.counts,
+            q,
+            minimum=None if self._count == 0 else self._min,
+            maximum=None if self._count == 0 else self._max,
+        )
+
     def to_dict(self) -> dict:
         return {
             "type": "histogram",
@@ -183,6 +246,9 @@ class Histogram:
             "mean": self.mean,
             "min": None if self._count == 0 else self._min,
             "max": None if self._count == 0 else self._max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

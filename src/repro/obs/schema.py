@@ -101,6 +101,14 @@ _FIELDS = {
         "non-negative seconds",
     ),
     "attrs": (True, lambda v: isinstance(v, dict), "object"),
+    # Optional since schema v1 events predate it; the critical-path
+    # profiler needs it to separate pipeline worker threads from the
+    # main compute thread.
+    "thread": (
+        False,
+        lambda v: isinstance(v, str) and len(v) > 0,
+        "non-empty string (emitting thread name)",
+    ),
 }
 
 
@@ -129,28 +137,38 @@ def validate_event(event: object) -> list[str]:
     return errors
 
 
-def validate_trace_file(path: str) -> int:
+def validate_trace_file(path: str, *, allow_partial_tail: bool = True) -> int:
     """Validate every line of a JSONL trace; returns the event count.
+
+    A torn *final* line (a producer interrupted mid-write) is skipped
+    when ``allow_partial_tail`` is true; malformed JSON anywhere else,
+    or a schema-invalid event, raises with the offending line number.
 
     Raises:
         SchemaError: on the first malformed line or invalid event.
     """
-    count = 0
+    raw: list[tuple[int, str]] = []
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise SchemaError(
-                    f"{path}:{lineno}: not valid JSON: {exc}"
-                ) from exc
-            errors = validate_event(event)
-            if errors:
-                raise SchemaError(
-                    f"{path}:{lineno}: invalid event: {'; '.join(errors)}"
-                )
-            count += 1
+            stripped = line.strip()
+            if stripped:
+                raw.append((lineno, stripped))
+    count = 0
+    last_index = len(raw) - 1
+    for index, (lineno, line) in enumerate(raw):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            # A torn tail needs at least one complete line before it.
+            if index == last_index and index > 0 and allow_partial_tail:
+                break
+            raise SchemaError(
+                f"{path}:{lineno}: not valid JSON: {exc}"
+            ) from exc
+        errors = validate_event(event)
+        if errors:
+            raise SchemaError(
+                f"{path}:{lineno}: invalid event: {'; '.join(errors)}"
+            )
+        count += 1
     return count

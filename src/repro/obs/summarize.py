@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.device.profiler import Profiler
-from repro.obs.trace import read_jsonl
+from repro.obs.trace import read_trace_events
 
 __all__ = ["TraceSummary", "summarize_events", "summarize_file",
            "render_summary"]
@@ -27,6 +27,8 @@ class TraceSummary:
     n_spans: int = 0
     profiler: Profiler = field(default_factory=Profiler)
     span_totals: dict[str, tuple[int, float]] = field(default_factory=dict)
+    #: Line number of a torn trailing line that was skipped, or None.
+    skipped_tail_lineno: int | None = None
 
     @property
     def total_s(self) -> float:
@@ -56,7 +58,11 @@ def summarize_events(events: Iterable[dict]) -> TraceSummary:
 
 
 def summarize_file(path: str) -> TraceSummary:
-    return summarize_events(read_jsonl(path))
+    """Summarize a JSONL trace, tolerating a torn trailing line."""
+    events, skipped = read_trace_events(path, allow_partial_tail=True)
+    summary = summarize_events(events)
+    summary.skipped_tail_lineno = skipped
+    return summary
 
 
 def render_summary(summary: TraceSummary, *, title: str = "") -> str:
@@ -86,15 +92,21 @@ def render_summary(summary: TraceSummary, *, title: str = "") -> str:
             f"{summary.n_spans} spans)"
         ),
     )
-    if not summary.span_totals:
-        return phase_table
-    span_rows = [
-        [name, count, f"{total_s:.6f}"]
-        for name, (count, total_s) in summary.span_totals.items()
-    ]
-    span_table = format_table(
-        ["span", "count", "total_s"],
-        span_rows,
-        title="non-phase spans",
-    )
-    return phase_table + "\n\n" + span_table
+    out = phase_table
+    if summary.span_totals:
+        span_rows = [
+            [name, count, f"{total_s:.6f}"]
+            for name, (count, total_s) in summary.span_totals.items()
+        ]
+        span_table = format_table(
+            ["span", "count", "total_s"],
+            span_rows,
+            title="non-phase spans",
+        )
+        out = out + "\n\n" + span_table
+    if summary.skipped_tail_lineno is not None:
+        out = out + (
+            f"\n\nnote: skipped torn trailing line "
+            f"{summary.skipped_tail_lineno} (partial write)"
+        )
+    return out

@@ -36,6 +36,8 @@ import threading
 import time
 from typing import Any, Callable, Iterable, Protocol
 
+from repro.errors import ReproError
+
 EVENT_VERSION = 1
 
 __all__ = [
@@ -45,8 +47,10 @@ __all__ = [
     "JsonlFileSink",
     "ListSink",
     "Tracer",
+    "TraceReadError",
     "get_tracer",
     "set_tracer",
+    "read_trace_events",
 ]
 
 
@@ -174,6 +178,7 @@ class Span:
             "parent_id": self.parent_id,
             "ts": self.ts,
             "duration_s": self.duration_s,
+            "thread": threading.current_thread().name,
             "attrs": self.attrs,
         }
 
@@ -310,6 +315,7 @@ class Tracer:
                 "parent_id": None if parent is None else parent.span_id,
                 "ts": self._now(),
                 "duration_s": 0.0,
+                "thread": threading.current_thread().name,
                 "attrs": dict(attrs) if attrs else {},
             }
         )
@@ -342,9 +348,51 @@ def set_tracer(tracer: Tracer) -> Tracer:
 
 
 def read_jsonl(path: str) -> Iterable[dict]:
-    """Yield events from a JSONL trace file."""
+    """Yield events from a JSONL trace file (strict: raises on bad JSON)."""
     with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if line:
                 yield json.loads(line)
+
+
+class TraceReadError(ReproError):
+    """A trace file is corrupt beyond a torn trailing line."""
+
+
+def read_trace_events(
+    path: str, *, allow_partial_tail: bool = True
+) -> tuple[list[dict], int | None]:
+    """Read a JSONL trace, tolerating a torn (mid-write) final line.
+
+    A crashed or still-writing producer leaves at most one partial line,
+    and only at the end of the file.  That last line is skipped and its
+    line number returned; malformed JSON anywhere *else* is real
+    corruption and raises :class:`TraceReadError` with ``path:lineno``.
+
+    Returns:
+        ``(events, skipped_lineno)`` — ``skipped_lineno`` is ``None``
+        when every line parsed.
+    """
+    raw: list[tuple[int, str]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if stripped:
+                raw.append((lineno, stripped))
+    events: list[dict] = []
+    skipped: int | None = None
+    last_index = len(raw) - 1
+    for index, (lineno, line) in enumerate(raw):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            # A torn tail needs at least one complete line before it —
+            # a file that is *all* garbage is not a JSONL trace.
+            if index == last_index and index > 0 and allow_partial_tail:
+                skipped = lineno
+                break
+            raise TraceReadError(
+                f"{path}:{lineno}: not valid JSON: {exc}"
+            ) from exc
+    return events, skipped

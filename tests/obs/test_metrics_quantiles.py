@@ -1,0 +1,87 @@
+"""Streaming quantile estimates over fixed histogram buckets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    SECONDS_BUCKETS,
+    Histogram,
+    bucket_quantile,
+)
+
+
+class TestBucketQuantile:
+    def test_empty_returns_none(self):
+        assert bucket_quantile((1.0, 2.0), [0, 0, 0], 0.5) is None
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(ReproError):
+            bucket_quantile((1.0,), [1, 0], 1.5)
+
+    def test_single_bucket_interpolates(self):
+        # 10 observations all in (1, 2]: p50 lands mid-bucket.
+        value = bucket_quantile((1.0, 2.0), [0, 10, 0], 0.5)
+        assert 1.0 <= value <= 2.0
+
+    def test_respects_observed_min_max(self):
+        value = bucket_quantile(
+            (1.0, 2.0), [0, 10, 0], 0.99, minimum=1.4, maximum=1.6
+        )
+        assert 1.4 <= value <= 1.6
+
+    def test_q1_returns_observed_max(self):
+        assert (
+            bucket_quantile((1.0, 2.0), [0, 5, 5], 1.0, maximum=7.5) == 7.5
+        )
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_quantiles_none(self):
+        h = Histogram("t", SECONDS_BUCKETS)
+        assert h.quantile(0.5) is None
+        d = h.to_dict()
+        assert d["p50"] is None and d["p95"] is None and d["p99"] is None
+
+    def test_quantiles_bracket_observations(self):
+        h = Histogram("t", SECONDS_BUCKETS)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(1e-4, 1e-2, size=500)
+        for v in values:
+            h.observe(v)
+        for q in (0.5, 0.95, 0.99):
+            est = h.quantile(q)
+            assert values.min() <= est <= values.max()
+
+    def test_quantile_tracks_exact_percentile_on_fine_buckets(self):
+        edges = tuple(float(10 ** (e / 8.0)) for e in range(-40, 1))
+        h = Histogram("t", edges)
+        rng = np.random.default_rng(1)
+        values = rng.lognormal(mean=-7.0, sigma=0.5, size=2000)
+        for v in values:
+            h.observe(v)
+        exact = float(np.percentile(values, 95))
+        est = h.quantile(0.95)
+        assert est == pytest.approx(exact, rel=0.35)
+
+    def test_quantiles_monotone_in_q(self):
+        h = Histogram("t", SECONDS_BUCKETS)
+        for v in (1e-4, 2e-4, 5e-3, 0.3, 0.7, 2.0):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_to_dict_includes_percentiles(self):
+        h = Histogram("t", (1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["p50"] is not None
+        assert d["p50"] <= d["p95"] <= d["p99"]
+        assert d["p99"] <= 3.5  # clamped to observed max
+
+    def test_overflow_bucket_clamped_to_max(self):
+        h = Histogram("t", (1.0,))
+        h.observe(100.0)
+        h.observe(200.0)
+        assert h.quantile(0.99) <= 200.0

@@ -1,0 +1,255 @@
+"""Run ledger: records, persistence, comparison, and gating."""
+
+import json
+
+import pytest
+
+from repro.obs.observatory.ledger import (
+    Comparison,
+    LedgerError,
+    LedgerRecord,
+    RunRecorder,
+    Thresholds,
+    append_record,
+    check_floors,
+    compare_records,
+    config_fingerprint,
+    flatten_numeric,
+    metric_direction,
+    read_ledger,
+    render_comparison,
+    render_record,
+    resolve_record_spec,
+)
+
+
+def make_record(name="run", *, wall=1.0, peak=1000.0, speedup=2.0,
+                floors=None):
+    return LedgerRecord(
+        name=name,
+        created_at="2026-08-08T00:00:00Z",
+        git_rev="abc123",
+        host={"platform": "test"},
+        config={"seed": 0, "scale": 0.1},
+        phases={"sampling": {"wall_s": wall, "sim_s": 0.0, "count": 1}},
+        peaks={"device": peak},
+        metrics={"ops.sum.speedup": speedup},
+        floors=dict(floors or {}),
+    )
+
+
+class TestRecord:
+    def test_fingerprint_is_deterministic(self):
+        a = config_fingerprint({"b": 1, "a": 2})
+        b = config_fingerprint({"a": 2, "b": 1})
+        assert a == b and len(a) == 12
+
+    def test_round_trip(self):
+        record = make_record()
+        clone = LedgerRecord.from_dict(record.to_dict())
+        assert clone.to_dict() == record.to_dict()
+
+    def test_from_dict_does_not_restamp_env(self):
+        data = make_record().to_dict()
+        data["git_rev"] = None
+        data["created_at"] = ""
+        clone = LedgerRecord.from_dict(data)
+        assert clone.git_rev is None
+        assert clone.created_at == ""
+
+    def test_version_mismatch_rejected(self):
+        data = make_record().to_dict()
+        data["v"] = 999
+        with pytest.raises(LedgerError, match="version"):
+            LedgerRecord.from_dict(data)
+
+    def test_flat_metrics_namespaces(self):
+        flat = make_record().flat_metrics()
+        assert flat["phase.sampling.wall_s"] == 1.0
+        assert flat["peak.device.bytes"] == 1000.0
+        assert flat["ops.sum.speedup"] == 2.0
+
+
+class TestPersistence:
+    def test_append_and_read(self, tmp_path):
+        path = str(tmp_path / "ledger" / "run.jsonl")
+        append_record(path, make_record(wall=1.0))
+        append_record(path, make_record(wall=2.0))
+        records = read_ledger(path)
+        assert len(records) == 2
+        assert records[1].phases["sampling"]["wall_s"] == 2.0
+
+    def test_read_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        append_record(str(path), make_record())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "name": "tor')  # interrupted append
+        assert len(read_ledger(str(path))) == 1
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        record_json = json.dumps(make_record().to_dict())
+        path.write_text(f"{record_json}\nGARBAGE\n{record_json}\n")
+        with pytest.raises(LedgerError, match=r":2:"):
+            read_ledger(str(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(LedgerError, match="not found"):
+            read_ledger(str(tmp_path / "nope.jsonl"))
+
+    def test_resolve_record_spec_index(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        append_record(path, make_record(wall=1.0))
+        append_record(path, make_record(wall=2.0))
+        assert (
+            resolve_record_spec(path).phases["sampling"]["wall_s"] == 2.0
+        )
+        assert (
+            resolve_record_spec(f"{path}@0").phases["sampling"]["wall_s"]
+            == 1.0
+        )
+        assert (
+            resolve_record_spec(f"{path}@-2").phases["sampling"]["wall_s"]
+            == 1.0
+        )
+        with pytest.raises(LedgerError, match="out of range"):
+            resolve_record_spec(f"{path}@7")
+
+
+class TestDirections:
+    def test_lower_better(self):
+        assert metric_direction("phase.sampling.wall_s") == -1
+        assert metric_direction("peak.device.bytes") == -1
+        assert metric_direction("estimator.mean_abs_rel_error") == -1
+
+    def test_higher_better(self):
+        assert metric_direction("ops.sum.speedup") == 1
+        assert metric_direction("feature_cache.hit_rate") == 1
+
+    def test_informational(self):
+        assert metric_direction("buffalo.iterations") == 0
+
+
+class TestCompare:
+    def test_identical_records_pass(self):
+        comparison = compare_records(make_record(), make_record())
+        assert isinstance(comparison, Comparison)
+        assert comparison.ok
+        assert not comparison.regressions
+
+    def test_wall_regression_beyond_threshold_fails(self):
+        base = make_record(wall=1.0)
+        new = make_record(wall=1.5)  # +50% > default 25%
+        comparison = compare_records(base, new)
+        names = [d.name for d in comparison.regressions]
+        assert "phase.sampling.wall_s" in names
+        assert not comparison.ok
+
+    def test_peak_regression_fails(self):
+        base = make_record(peak=1_000_000.0)
+        new = make_record(peak=1_100_000.0)  # +10% > default 5%
+        comparison = compare_records(base, new)
+        assert any(
+            d.name == "peak.device.bytes" for d in comparison.regressions
+        )
+
+    def test_speedup_drop_fails(self):
+        comparison = compare_records(
+            make_record(speedup=2.0), make_record(speedup=1.5)
+        )
+        assert any(
+            d.name == "ops.sum.speedup" for d in comparison.regressions
+        )
+
+    def test_improvement_never_fails(self):
+        comparison = compare_records(
+            make_record(wall=2.0, peak=2000.0, speedup=1.0),
+            make_record(wall=1.0, peak=1000.0, speedup=2.0),
+        )
+        assert comparison.ok
+
+    def test_absolute_epsilon_suppresses_tiny_wall_noise(self):
+        # 0.2 ms doubling to 0.4 ms: within the 1 ms absolute epsilon.
+        comparison = compare_records(
+            make_record(wall=0.0002), make_record(wall=0.0004)
+        )
+        assert comparison.ok
+
+    def test_custom_thresholds(self):
+        thresholds = Thresholds(wall_tol=1.0)
+        comparison = compare_records(
+            make_record(wall=1.0), make_record(wall=1.8), thresholds
+        )
+        assert comparison.ok
+
+    def test_render_includes_status_column(self):
+        text = render_comparison(
+            compare_records(make_record(wall=1.0), make_record(wall=2.0))
+        )
+        assert "REGRESSED" in text
+        assert "FAIL" in text
+        assert "phase.sampling.wall_s" in text
+
+
+class TestFloors:
+    def test_floor_met_passes(self):
+        record = make_record(
+            speedup=2.0, floors={"ops.sum.speedup": 0.9}
+        )
+        assert check_floors(record) == []
+
+    def test_floor_violated_fails(self):
+        record = make_record(
+            speedup=0.5, floors={"ops.sum.speedup": 0.9}
+        )
+        failures = check_floors(record)
+        assert len(failures) == 1 and "ops.sum.speedup" in failures[0]
+
+    def test_missing_metric_fails(self):
+        record = make_record(floors={"ops.absent.speedup": 1.0})
+        assert any("missing" in f for f in check_floors(record))
+
+
+class TestFlatten:
+    def test_nested_dicts_and_lists(self):
+        flat = flatten_numeric(
+            {"a": {"b": 1, "c": [2.0, 3.0]}, "s": "text", "ok": True}
+        )
+        assert flat == {"a.b": 1.0, "a.c.0": 2.0, "a.c.1": 3.0}
+
+    def test_render_record_lists_metrics_and_floors(self):
+        text = render_record(
+            make_record(floors={"ops.sum.speedup": 0.9})
+        )
+        assert "ops.sum.speedup" in text
+        assert "floors" in text
+        assert "abc123" in text
+
+
+class TestRunRecorder:
+    def test_recorder_builds_phases_from_spans(self, tracer):
+        from repro.device.profiler import Profiler
+        from repro.obs.trace import CallbackSink
+
+        recorder = RunRecorder()
+        sink = tracer.add_sink(CallbackSink(recorder.consume))
+        profiler = Profiler()
+        with profiler.phase("sampling"):
+            pass
+        with tracer.span("buffalo.iteration"):
+            with tracer.span("train.micro_batch") as span:
+                span.set_attr("peak_bytes", 12345)
+        tracer.remove_sink(sink)
+        phases = recorder.phases()
+        assert "sampling" in phases
+        assert phases["buffalo.iteration"]["count"] == 1
+        assert phases["train.micro_batch"]["count"] == 1
+        assert recorder.device_peak_bytes == 12345
+
+    def test_recorder_tolerates_garbage(self):
+        recorder = RunRecorder()
+        recorder.consume(None)
+        recorder.consume({"type": "event"})
+        recorder.consume({"type": "span", "attrs": {"peak_bytes": "x"}})
+        assert recorder.phases() == {}
+        assert recorder.device_peak_bytes == 0.0

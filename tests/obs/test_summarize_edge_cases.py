@@ -1,0 +1,194 @@
+"""Summarizer edge cases: torn files, unclosed spans, thread interleaving."""
+
+import json
+import threading
+
+import pytest
+
+from repro.device.profiler import Profiler
+from repro.obs.schema import SchemaError, validate_trace_file
+from repro.obs.summarize import render_summary, summarize_file
+from repro.obs.trace import (
+    JsonlFileSink,
+    ListSink,
+    TraceReadError,
+    read_trace_events,
+)
+
+
+def _write_events(path, events, tail=""):
+    with open(path, "w", encoding="utf-8") as fh:
+        for e in events:
+            fh.write(json.dumps(e) + "\n")
+        fh.write(tail)
+
+
+def _span_event(name, span_id, *, thread="MainThread", **over):
+    event = {
+        "v": 1,
+        "type": "span",
+        "name": name,
+        "kind": "span",
+        "span_id": span_id,
+        "parent_id": None,
+        "ts": 100.0,
+        "duration_s": 0.01,
+        "thread": thread,
+        "attrs": {},
+    }
+    event.update(over)
+    return event
+
+
+class TestTornFiles:
+    def test_trailing_partial_line_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_events(
+            path,
+            [_span_event("a", 1), _span_event("b", 2)],
+            tail='{"v": 1, "type": "sp',  # torn mid-write
+        )
+        events, skipped = read_trace_events(str(path))
+        assert [e["name"] for e in events] == ["a", "b"]
+        assert skipped == 3
+
+    def test_mid_file_corruption_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps(_span_event("a", 1))
+            + "\nGARBAGE\n"
+            + json.dumps(_span_event("b", 2))
+            + "\n"
+        )
+        with pytest.raises(TraceReadError, match=r":2:"):
+            read_trace_events(str(path))
+
+    def test_all_garbage_single_line_still_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("garbage not json\n")
+        with pytest.raises(TraceReadError):
+            read_trace_events(str(path))
+
+    def test_validate_trace_file_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_events(
+            path, [_span_event("a", 1)], tail='{"v": 1, "type'
+        )
+        assert validate_trace_file(str(path)) == 1
+
+    def test_validate_strict_mode_raises_on_torn_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_events(
+            path, [_span_event("a", 1)], tail='{"v": 1, "type'
+        )
+        with pytest.raises(SchemaError, match=r":2:"):
+            validate_trace_file(str(path), allow_partial_tail=False)
+
+    def test_summary_notes_skipped_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_events(
+            path, [_span_event("a", 1)], tail='{"torn'
+        )
+        summary = summarize_file(str(path))
+        assert summary.skipped_tail_lineno == 2
+        assert "torn trailing line 2" in render_summary(summary)
+
+
+class TestEmptyTrace:
+    def test_empty_file_summarizes_to_zero(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        summary = summarize_file(str(path))
+        assert summary.n_events == 0
+        assert summary.n_spans == 0
+        assert render_summary(summary)  # renders without error
+
+    def test_blank_lines_only(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("\n\n\n")
+        summary = summarize_file(str(path))
+        assert summary.n_events == 0
+
+
+class TestUnclosedSpans:
+    def test_unclosed_span_at_exit_absent_from_file(self, tracer, tmp_path):
+        """A span never exited emits nothing; closed children survive."""
+        path = tmp_path / "t.jsonl"
+        sink = tracer.add_sink(JsonlFileSink(str(path)))
+        outer = tracer.span("outer")
+        outer.__enter__()
+        with tracer.span("inner"):
+            pass
+        # Process "exits" here: outer never closes.
+        tracer.remove_sink(sink)
+        sink.close()
+        summary = summarize_file(str(path))
+        assert summary.n_spans == 1
+        assert list(summary.span_totals) == ["inner"]
+        # The orphaned child's parent_id points at a span the file
+        # never saw — the critical-path builder treats it as a root.
+        events, _ = read_trace_events(str(path))
+        assert events[0]["parent_id"] is not None
+
+    def test_unbalanced_exit_drops_stack_suffix(self, tracer, sink):
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        outer.__exit__(None, None, None)  # exits inner implicitly
+        assert tracer.current_span() is None
+        assert [e["name"] for e in sink.events] == ["outer"]
+
+
+class TestThreadInterleaving:
+    def test_worker_spans_carry_thread_name(self, tracer, sink):
+        def worker():
+            with tracer.span("prefetch.work"):
+                pass
+
+        t = threading.Thread(target=worker, name="buffalo-store-prefetch")
+        with tracer.span("main.work"):
+            t.start()
+            t.join()
+        threads = {e["name"]: e["thread"] for e in sink.events}
+        assert threads["prefetch.work"] == "buffalo-store-prefetch"
+        assert threads["main.work"] == threading.current_thread().name
+
+    def test_worker_spans_do_not_nest_under_main(self, tracer, sink):
+        """Thread-local stacks: a worker span has no main-thread parent."""
+        results = []
+
+        def worker():
+            with tracer.span("worker.span"):
+                results.append(tracer.current_span())
+
+        with tracer.span("main.span"):
+            t = threading.Thread(target=worker, name="w0")
+            t.start()
+            t.join()
+        by_name = {e["name"]: e for e in sink.events}
+        assert by_name["worker.span"]["parent_id"] is None
+        assert by_name["main.span"]["parent_id"] is None
+
+    def test_interleaved_profiler_phases_summarize(self, tracer, tmp_path):
+        """Prefetcher-thread phases interleave with main-thread phases."""
+        path = tmp_path / "t.jsonl"
+        sink = tracer.add_sink(JsonlFileSink(str(path)))
+        profiler = Profiler()
+
+        def worker():
+            for _ in range(3):
+                with profiler.phase("prefetch"):
+                    pass
+
+        t = threading.Thread(target=worker, name="buffalo-store-prefetch")
+        t.start()
+        for _ in range(3):
+            with profiler.phase("compute"):
+                pass
+        t.join()
+        tracer.remove_sink(sink)
+        sink.close()
+        summary = summarize_file(str(path))
+        assert summary.profiler.phases["compute"].count == 3
+        assert summary.profiler.phases["prefetch"].count == 3

@@ -1,0 +1,305 @@
+"""CLI tests for the performance observatory commands.
+
+Covers `repro ledger show/compare/check`, the new `repro trace
+timeline` / `trace critical-path` actions, and the `--ledger` /
+`--timeline` plumbing on `train`, `bench kernels`, and `experiment`.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.observatory.ledger import LedgerRecord, append_record
+
+
+def _record(name="run", *, wall=1.0, peak=1000.0, speedup=2.0,
+            floors=None):
+    return LedgerRecord(
+        name=name,
+        created_at="2026-08-08T00:00:00Z",
+        git_rev="abc123",
+        host={"platform": "test"},
+        config={"seed": 0},
+        phases={"sampling": {"wall_s": wall, "sim_s": 0.0, "count": 1}},
+        peaks={"device": peak},
+        metrics={"ops.sum.speedup": speedup},
+        floors=dict(floors or {}),
+    )
+
+
+@pytest.fixture()
+def ledger_path(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    append_record(path, _record(wall=1.0))
+    append_record(path, _record(wall=2.0))
+    return path
+
+
+class TestLedgerShow:
+    def test_show_last_record(self, ledger_path, capsys):
+        assert main(["ledger", "show", ledger_path]) == 0
+        out = capsys.readouterr().out
+        assert "phase.sampling.wall_s" in out
+        assert "abc123" in out
+
+    def test_show_indexed_record(self, ledger_path, capsys):
+        assert main(["ledger", "show", f"{ledger_path}@0"]) == 0
+        assert "1" in capsys.readouterr().out
+
+    def test_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["ledger", "show", str(tmp_path / "nope.jsonl")])
+
+    def test_out_of_range_index_exits(self, ledger_path):
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["ledger", "show", f"{ledger_path}@9"])
+
+
+class TestLedgerCompare:
+    def test_identical_records_pass(self, ledger_path, capsys):
+        code = main(
+            ["ledger", "compare", f"{ledger_path}@0", f"{ledger_path}@0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "phase.sampling.wall_s" in out
+
+    def test_wall_regression_exits_nonzero(self, ledger_path, capsys):
+        code = main(
+            ["ledger", "compare", f"{ledger_path}@0", f"{ledger_path}@1"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "FAIL" in out
+
+    def test_threshold_flags_relax_gate(self, ledger_path):
+        code = main(
+            [
+                "ledger",
+                "compare",
+                f"{ledger_path}@0",
+                f"{ledger_path}@1",
+                "--wall-tol",
+                "2.0",
+            ]
+        )
+        assert code == 0
+
+
+class TestLedgerCheck:
+    def test_floors_pass(self, tmp_path, capsys):
+        path = str(tmp_path / "k.jsonl")
+        append_record(
+            path, _record(speedup=2.0, floors={"ops.sum.speedup": 0.9})
+        )
+        assert main(["ledger", "check", path]) == 0
+        assert "ledger check passed" in capsys.readouterr().out
+
+    def test_floor_violation_fails(self, tmp_path, capsys):
+        path = str(tmp_path / "k.jsonl")
+        append_record(
+            path, _record(speedup=0.5, floors={"ops.sum.speedup": 0.9})
+        )
+        assert main(["ledger", "check", path]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
+
+    def test_baseline_regression_fails(self, ledger_path, capsys):
+        code = main(
+            [
+                "ledger",
+                "check",
+                f"{ledger_path}@1",
+                "--baseline",
+                f"{ledger_path}@0",
+            ]
+        )
+        assert code == 1
+        assert "vs baseline" in capsys.readouterr().err
+
+    def test_baseline_with_generous_tolerance_passes(self, ledger_path):
+        code = main(
+            [
+                "ledger",
+                "check",
+                f"{ledger_path}@1",
+                "--baseline",
+                f"{ledger_path}@0",
+                "--wall-tol",
+                "2.0",
+            ]
+        )
+        assert code == 0
+
+
+@pytest.mark.smoke
+class TestTrainObservatory:
+    def _train(self, tmp_path, extra):
+        return main(
+            [
+                "train",
+                "--dataset",
+                "cora",
+                "--scale",
+                "0.2",
+                "--epochs",
+                "1",
+                "--batch-size",
+                "30",
+                "--fanouts",
+                "5,5",
+                *extra,
+            ]
+        )
+
+    def test_train_emits_ledger_timeline_and_trace(
+        self, tmp_path, capsys
+    ):
+        ledger = tmp_path / "train.jsonl"
+        timeline = tmp_path / "timeline.jsonl"
+        trace = tmp_path / "trace.jsonl"
+        code = self._train(
+            tmp_path,
+            [
+                "--ledger",
+                str(ledger),
+                "--timeline",
+                str(timeline),
+                "--trace",
+                str(trace),
+            ],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ledger record appended" in out
+
+        # The ledger record carries phases, peaks, and metrics.
+        record = json.loads(ledger.read_text().splitlines()[-1])
+        assert record["v"] == 1
+        assert record["name"] == "train"
+        assert record["phases"]
+        assert record["peaks"].get("device", 0) > 0
+        assert record["config"]["dataset"] == "cora"
+
+        # ... and `ledger show` / self-`check` consume it.
+        assert main(["ledger", "show", str(ledger)]) == 0
+        assert (
+            main(
+                [
+                    "ledger",
+                    "check",
+                    str(ledger),
+                    "--baseline",
+                    f"{ledger}@-1",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        # The timeline renders through the trace command.
+        assert main(["trace", "timeline", str(timeline)]) == 0
+        out = capsys.readouterr().out
+        assert "device_live" in out
+        assert "micro_batch" in out
+        assert main(["trace", "timeline", str(timeline), "--csv"]) == 0
+        assert capsys.readouterr().out.startswith("idx,iter,label")
+
+        # The trace feeds the critical-path profiler + folded stacks.
+        folded = tmp_path / "out.folded"
+        code = main(
+            [
+                "trace",
+                "critical-path",
+                str(trace),
+                "--folded",
+                str(folded),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "coverage" in out
+        assert folded.exists() and folded.read_text().strip()
+
+
+class TestTraceActionErrors:
+    def test_timeline_on_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace file"):
+            main(["trace", "timeline", str(tmp_path / "nope.jsonl")])
+
+    def test_timeline_on_garbage_exits(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SystemExit, match="not a timeline file"):
+            main(["trace", "timeline", str(path)])
+
+    def test_timeline_on_empty_exits(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SystemExit, match="no timeline samples"):
+            main(["trace", "timeline", str(path)])
+
+    def test_critical_path_on_empty_exits(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SystemExit, match="cannot analyze"):
+            main(["trace", "critical-path", str(path)])
+
+
+@pytest.mark.smoke
+class TestBenchLedger:
+    def test_bench_kernels_appends_ledger_record(self, tmp_path, capsys):
+        out_json = tmp_path / "BENCH_kernels.json"
+        ledger = tmp_path / "kernels.jsonl"
+        code = main(
+            [
+                "bench",
+                "kernels",
+                "--rows",
+                "512",
+                "--degree",
+                "8",
+                "--feat",
+                "16",
+                "--repeats",
+                "1",
+                "--out",
+                str(out_json),
+                "--ledger",
+                str(ledger),
+            ]
+        )
+        assert code == 0
+        assert "ledger record appended" in capsys.readouterr().out
+        record = json.loads(ledger.read_text().splitlines()[-1])
+        assert record["name"] == "kernels"
+        assert record["floors"]["ops.sum.speedup"] == pytest.approx(0.9)
+        assert "ops.sum.speedup" in record["metrics"]
+        assert record["config"]["n_rows"] == 512
+        capsys.readouterr()
+        # A self-comparison through the ledger gate passes.
+        assert (
+            main(
+                [
+                    "ledger",
+                    "compare",
+                    f"{ledger}@-1",
+                    f"{ledger}@-1",
+                ]
+            )
+            == 0
+        )
+
+
+@pytest.mark.smoke
+class TestExperimentLedger:
+    def test_experiment_appends_ledger_record(self, tmp_path, capsys):
+        ledger = tmp_path / "fig01.jsonl"
+        code = main(["experiment", "fig01", "--ledger", str(ledger)])
+        assert code == 0
+        record = json.loads(ledger.read_text().splitlines()[-1])
+        assert record["name"] == "fig01"
+        assert record["metrics"]
