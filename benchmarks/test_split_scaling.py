@@ -1,0 +1,19 @@
+"""Benchmark: split-parallel scaling across a simulated device fleet.
+
+Runs :mod:`repro.bench.experiments.split_scaling` once and asserts its
+shape (loss bit-identical at every fleet size, sim-time speedup > 1 at
+N=2, halo traffic present on multi-device fleets); the result table is
+saved under ``benchmarks/results/split_scaling.txt``.
+"""
+
+from repro.bench.experiments import split_scaling
+
+from .conftest import run_and_check
+
+
+def test_split_scaling(benchmark):
+    output = run_and_check(benchmark, split_scaling.run)
+    losses = output.data["loss"]
+    assert losses["n1"] == losses["n2"] == losses["n4"]
+    assert output.data["n2"]["speedup"] > 1.0
+    assert output.data["n2"]["halo_bytes"] > 0

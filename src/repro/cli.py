@@ -54,6 +54,7 @@ EXPERIMENTS = (
     "pipeline_overlap",
     "store_io",
     "kernels",
+    "split_scaling",
 )
 
 
@@ -97,6 +98,22 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--checkpoint", default=None)
     train.add_argument("--eval", action="store_true", dest="do_eval")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        help="simulated GPU count; > 1 enables multi-device training "
+        "(gradients stay bit-identical to a single device)",
+    )
+    train.add_argument(
+        "--parallel",
+        default="split",
+        choices=["data", "split"],
+        help="multi-device strategy with --devices > 1: 'data' "
+        "replicates features and round-robins micro-batches; 'split' "
+        "partitions the feature matrix and places bucket groups "
+        "(halo exchange over the interconnect; see docs/distributed.md)",
+    )
     train.add_argument(
         "--pipeline-depth",
         type=int,
@@ -305,6 +322,23 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="RECORD",
         help="with --check, also compare against a baseline ledger "
         "record (PATH or PATH@INDEX) and fail on cross-run regressions",
+    )
+    bench_experiment = bench_sub.add_parser(
+        "experiment",
+        help="run one paper experiment as a benchmark (alias of "
+        "`repro experiment NAME` with ledger support)",
+    )
+    bench_experiment.add_argument(
+        "name", help=f"experiment name, one of: {', '.join(EXPERIMENTS)}"
+    )
+    bench_experiment.add_argument(
+        "--ledger",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="append the experiment's numeric results as a ledger "
+        "record (default: benchmarks/ledger/<name>.jsonl)",
     )
 
     ledger = sub.add_parser(
@@ -647,6 +681,28 @@ def _cmd_train(args) -> int:
     _require_positive(args.feature_cache_bytes, "--feature-cache-bytes")
     _require_positive(args.hot_cache_mb, "--hot-cache-mb")
     _require_positive(args.host_budget_mb, "--host-budget-mb")
+    _require_positive(args.devices, "--devices")
+    if args.devices > 1:
+        # The parallel trainers run the plain Algorithm 2 path; the
+        # single-device execution features below are not wired through
+        # them, so reject the combinations instead of ignoring flags.
+        incompatible = [
+            ("--data-store", args.data_store is not None),
+            ("--reuse-features", args.reuse_features),
+            ("--feature-cache-bytes", args.feature_cache_bytes is not None),
+            ("--pipeline-depth > 1", args.pipeline_depth > 1),
+            ("--pipeline-mode other than auto", args.pipeline_mode != "auto"),
+            ("--kernel-backend fused", args.kernel_backend == "fused"),
+            ("--ledger", args.ledger is not None),
+        ]
+        if args.parallel != "split":
+            incompatible.append(("--timeline", args.timeline is not None))
+        rejected = [flag for flag, present in incompatible if present]
+        if rejected:
+            raise SystemExit(
+                f"--devices {args.devices} (--parallel {args.parallel}) "
+                f"does not support: {', '.join(rejected)}"
+            )
     if args.data_store is not None:
         from pathlib import Path
 
@@ -684,21 +740,40 @@ def _cmd_train(args) -> int:
         heads=args.heads,
         dropout=args.dropout,
     )
-    device = SimulatedGPU(
-        capacity_bytes=budget_bytes(dataset, args.budget_gb)
-    )
-    trainer = BuffaloTrainer(
-        dataset,
-        spec,
-        device,
-        fanouts=fanouts,
-        seed=args.seed,
-        pipeline_depth=args.pipeline_depth,
-        pipeline_mode=args.pipeline_mode,
-        reuse_features=args.reuse_features,
-        feature_cache_bytes=args.feature_cache_bytes,
-        kernel_backend=args.kernel_backend,
-    )
+    capacity = budget_bytes(dataset, args.budget_gb)
+    if args.devices > 1:
+        if args.parallel == "split":
+            from repro.core import SplitParallelBuffaloTrainer
+            from repro.device import DeviceFleet
+
+            fleet = DeviceFleet(args.devices, capacity_bytes=capacity)
+            trainer = SplitParallelBuffaloTrainer(
+                dataset, spec, fleet, fanouts=fanouts, seed=args.seed
+            )
+            device = fleet.devices[0]
+        else:
+            from repro.core import DataParallelBuffaloTrainer
+            from repro.device import MultiGPU
+
+            group = MultiGPU(args.devices, capacity_bytes=capacity)
+            trainer = DataParallelBuffaloTrainer(
+                dataset, spec, group, fanouts=fanouts, seed=args.seed
+            )
+            device = group.devices[0]
+    else:
+        device = SimulatedGPU(capacity_bytes=capacity)
+        trainer = BuffaloTrainer(
+            dataset,
+            spec,
+            device,
+            fanouts=fanouts,
+            seed=args.seed,
+            pipeline_depth=args.pipeline_depth,
+            pipeline_mode=args.pipeline_mode,
+            reuse_features=args.reuse_features,
+            feature_cache_bytes=args.feature_cache_bytes,
+            kernel_backend=args.kernel_backend,
+        )
     val_nodes = None
     if args.do_eval:
         val_nodes = dataset.val_nodes[:500]
@@ -715,11 +790,17 @@ def _cmd_train(args) -> int:
         if args.data_store is not None
         else args.dataset
     )
+    fleet_note = (
+        f" across {args.devices} devices ({args.parallel}-parallel)"
+        if args.devices > 1
+        else ""
+    )
     print(
         f"training {args.aggregator}-GraphSAGE"
         f"{' (GAT)' if args.aggregator == 'attention' else ''} on "
         f"{source} under {args.budget_gb:.0f} GB-equivalent "
         f"({device.capacity / 2**20:.0f} MiB)"
+        f"{fleet_note}"
     )
     ledger_path = _resolve_ledger_path(args.ledger, "train")
     recorder = None
@@ -736,11 +817,14 @@ def _cmd_train(args) -> int:
         )
     if args.timeline is not None:
         trainer.attach_timeline()
+    telemetry = getattr(trainer, "telemetry", None)
+    extra_payload = (
+        {"estimator_accuracy": lambda: telemetry.to_dict()}
+        if telemetry is not None
+        else None
+    )
     try:
-        with _observability(
-            args,
-            {"estimator_accuracy": lambda: trainer.telemetry.to_dict()},
-        ):
+        with _observability(args, extra_payload):
             for result in loop.run(args.epochs):
                 val = (
                     f"  val_acc={result.val_accuracy:.3f}"
@@ -780,14 +864,24 @@ def _cmd_train(args) -> int:
                 f"cannot write ledger to {ledger_path}: {exc}"
             )
         print(f"ledger record appended to {ledger_path}")
-    if trainer.feature_cache is not None:
+    if args.devices > 1:
+        fleet = getattr(trainer, "fleet", None)
+        if fleet is not None:
+            print(
+                f"fleet: halo {fleet.halo_bytes / 2**20:.2f} MiB "
+                f"exchanged, all-reduce "
+                f"{fleet.allreduce_bytes / 2**20:.2f} MiB, "
+                f"sim {fleet.sim_time_s * 1e3:.2f} ms"
+            )
+    feature_cache = getattr(trainer, "feature_cache", None)
+    if feature_cache is not None:
         print(
-            f"feature-cache hit rate: {trainer.feature_cache.hit_rate:.1%}"
-            f"  ({trainer.feature_cache.hits} hits,"
-            f" {trainer.feature_cache.misses} misses)"
+            f"feature-cache hit rate: {feature_cache.hit_rate:.1%}"
+            f"  ({feature_cache.hits} hits,"
+            f" {feature_cache.misses} misses)"
         )
-    if trainer.store is not None:
-        store = trainer.store
+    store = getattr(trainer, "store", None)
+    if store is not None:
         print(
             f"feature store: hot-cache hit rate {store.hot_hit_rate:.1%}"
             f"  disk {store.bytes_read / 2**20:.2f} MiB"
@@ -1058,6 +1152,13 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.bench_command == "experiment":
+        if args.name not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {args.name!r}; "
+                f"see `repro experiment --list`"
+            )
+        return 0 if _run_one_experiment(args.name, ledger=args.ledger) else 1
     from repro.bench.kernels import (
         ledger_record_from_kernel_result,
         run_kernel_bench,

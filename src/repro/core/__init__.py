@@ -24,10 +24,25 @@ from repro.core.splitting import split_explosion_bucket
 from repro.core.grouping import BucketGroup, mem_balanced_grouping
 from repro.core.scheduler import BuffaloScheduler, SchedulePlan
 from repro.core.microbatch import MicroBatch, generate_micro_batches
-from repro.core.trainer import MicroBatchTrainer, TrainResult
+from repro.core.trainer import (
+    GradientContributions,
+    MicroBatchTrainer,
+    TrainResult,
+)
 from repro.core.symbolic import SymbolicResult, SymbolicTrainer
 from repro.core.api import BuffaloTrainer
-from repro.core.distributed import DataParallelBuffaloTrainer
+from repro.core.distributed import (
+    DataParallelBuffaloTrainer,
+    DistributedIteration,
+)
+from repro.core.split_parallel import (
+    SplitIteration,
+    SplitParallelBuffaloTrainer,
+    SplitPlacement,
+    ensure_group_count,
+    partition_nodes,
+    plan_placement,
+)
 
 __all__ = [
     "generate_blocks_fast",
@@ -47,4 +62,12 @@ __all__ = [
     "SymbolicResult",
     "BuffaloTrainer",
     "DataParallelBuffaloTrainer",
+    "DistributedIteration",
+    "GradientContributions",
+    "SplitParallelBuffaloTrainer",
+    "SplitIteration",
+    "SplitPlacement",
+    "partition_nodes",
+    "plan_placement",
+    "ensure_group_count",
 ]

@@ -1,12 +1,15 @@
 """Data-parallel Buffalo training across multiple simulated GPUs (§V-G).
 
 Micro-batches from the Buffalo scheduler are round-robined over the
-devices; each device accumulates gradients for its share, the replicas'
-gradients are averaged (ring all-reduce on the interconnect clock), and
-every replica steps identically.  Because micro-batch outputs are
-disjoint, summing the per-device gradient sums reproduces the
-single-device (and hence full-batch) gradient exactly — data parallelism
-inherits Buffalo's convergence guarantee.
+devices; each device records its micro-batches' gradient contributions
+(priced as a ring all-reduce on the interconnect clock), and every
+replica installs the same canonical schedule-order reduction
+(:class:`~repro.core.trainer.GradientContributions`) before stepping
+identically.  Because each contribution is a deterministic function of
+the synchronized parameters and the micro-batch alone, the reduced
+gradient is *bit-for-bit* the single-device gradient — data parallelism
+inherits Buffalo's full-batch parity invariant, not just its
+convergence guarantee.
 
 The paper's finding is reproduced by construction: only the GPU-compute
 share of the iteration parallelizes; scheduling and micro-batch
@@ -23,7 +26,11 @@ from repro.core.api import build_model
 from repro.core.fastblock import generate_blocks_fast
 from repro.core.microbatch import MicroBatch, generate_micro_batches
 from repro.core.scheduler import BuffaloScheduler
-from repro.core.trainer import MicroBatchTrainer
+from repro.core.trainer import (
+    GradientContributions,
+    MicroBatchTrainer,
+    TrainResult,
+)
 from repro.datasets.catalog import Dataset
 from repro.device.device import MultiGPU
 from repro.device.profiler import Profiler
@@ -44,6 +51,16 @@ class DistributedIteration:
     per_device_peaks: list[int]
     sim_time_s: float
     comm_time_s: float
+
+    @property
+    def result(self) -> TrainResult:
+        """TrainResult view for :class:`~repro.training.loop.TrainingLoop`."""
+        return TrainResult(
+            loss=self.loss,
+            peak_bytes=max(self.per_device_peaks, default=0),
+            n_micro_batches=self.n_micro_batches,
+            micro_batch_peaks=list(self.per_device_peaks),
+        )
 
 
 class DataParallelBuffaloTrainer:
@@ -116,23 +133,6 @@ class DataParallelBuffaloTrainer:
         """The (synchronized) model; replica 0 by convention."""
         return self.replicas[0]
 
-    # ------------------------------------------------------------------
-    def _allreduce_gradients(self) -> float:
-        """Average gradients across replicas; returns comm seconds."""
-        param_lists = [
-            list(replica.parameters()) for replica in self.replicas
-        ]
-        n = len(self.replicas)
-        for group in zip(*param_lists):
-            grads = [p.grad for p in group if p.grad is not None]
-            if not grads:
-                continue
-            # Replicas without a micro-batch share contribute zero.
-            mean = sum(grads) / n
-            for p in group:
-                p.grad = mean.copy()
-        return self.devices.allreduce(self.spec.param_bytes())
-
     def run_iteration(
         self, seeds: np.ndarray | None = None
     ) -> DistributedIteration:
@@ -153,16 +153,19 @@ class DataParallelBuffaloTrainer:
             plan = self.scheduler.schedule(batch, blocks)
         micro_batches = generate_micro_batches(batch, plan)
 
-        # Round-robin micro-batches over devices; each replica runs its
-        # share with gradient accumulation but WITHOUT stepping.
+        # Round-robin micro-batches over devices; each replica records
+        # its share's per-micro-batch gradient contributions (tagged
+        # with the *global* schedule index) WITHOUT stepping.
         n_dev = len(self.trainers)
-        shares: list[list[MicroBatch]] = [[] for _ in range(n_dev)]
+        shares: list[list[tuple[int, MicroBatch]]] = [
+            [] for _ in range(n_dev)
+        ]
         for i, mb in enumerate(micro_batches):
-            shares[i % n_dev].append(mb)
+            shares[i % n_dev].append((i, mb))
 
         total_outputs = batch.n_seeds
         cutoffs = list(reversed(self.fanouts))
-        loss_sum = 0.0
+        contributions = GradientContributions()
         for trainer, share, device in zip(
             self.trainers, shares, self.devices.devices
         ):
@@ -170,7 +173,7 @@ class DataParallelBuffaloTrainer:
                 continue
             trainer.model.zero_grad()
             device.reset_peak()
-            for mb in share:
+            for i, mb in share:
                 feats = self.dataset.features[
                     batch.node_map[mb.blocks[0].src_nodes]
                 ]
@@ -184,17 +187,26 @@ class DataParallelBuffaloTrainer:
                     logits, labels, reduction="sum"
                 ) * (1.0 / total_outputs)
                 partial.backward()
-                loss_sum += partial.item()
+                contributions.record(
+                    i, trainer.model.parameters(), partial.item()
+                )
+                trainer.model.zero_grad()
                 trainer._simulate_compute(mb.blocks, profiler)
                 del logits, partial, input_feats
 
-        comm_s = self._allreduce_gradients()
+        # Ring all-reduce on the modeled clock, then the canonical
+        # schedule-order reduction on every replica: the installed
+        # gradient is bit-for-bit the single-device gradient.
+        comm_s = self.devices.allreduce(self.spec.param_bytes())
+        reduced = contributions.reduced()
+        for replica in self.replicas:
+            contributions.apply(replica.parameters(), reduced)
         for optimizer in self.optimizers:
             optimizer.step()
         self._verify_sync()
         self._iteration += 1
         return DistributedIteration(
-            loss=float(loss_sum),
+            loss=contributions.reduced_loss(),
             n_micro_batches=len(micro_batches),
             per_device_peaks=[
                 d.peak_bytes for d in self.devices.devices

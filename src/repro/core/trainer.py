@@ -46,6 +46,92 @@ from repro.tensor.functional import cross_entropy_with_logits
 from repro.tensor.tensor import Tensor
 
 
+class GradientContributions:
+    """Schedule-order gradient reduction — the parity-defining semantics.
+
+    Every trainer (single-device, data-parallel, split-parallel) zeroes
+    gradients before each micro-batch, records the micro-batch's
+    contribution here tagged with its *schedule index*, and reduces by
+    summing contributions in ascending index order::
+
+        acc = g_0.copy(); acc += g_1; acc += g_2; ...
+
+    Because each contribution is a deterministic function of the
+    (synchronized) parameters and the micro-batch alone, the reduced
+    gradient is bit-for-bit identical no matter which device computed
+    which micro-batch — the invariant the differential parity suite
+    (``tests/core/test_split_parallel_parity.py``) pins.
+
+    Contributions are host-side copies (not device-tracked); the reduced
+    arrays are re-registered with the parameter's device by
+    :meth:`apply` so gradient buffers stay visible to the ledger.
+    """
+
+    def __init__(self) -> None:
+        self._by_index: dict[int, list[np.ndarray | None]] = {}
+        self._loss_by_index: dict[int, float] = {}
+
+    def record(
+        self, index: int, parameters, loss_value: float
+    ) -> None:
+        """Snapshot one micro-batch's gradients and loss term."""
+        if index in self._by_index:
+            raise ConvergenceError(
+                f"duplicate micro-batch schedule index {index}"
+            )
+        self._by_index[index] = [
+            None if p.grad is None else p.grad.copy()
+            for p in parameters
+        ]
+        self._loss_by_index[index] = float(loss_value)
+
+    @property
+    def n_recorded(self) -> int:
+        return len(self._by_index)
+
+    def reduced(self) -> list[np.ndarray | None]:
+        """Sum contributions in schedule order (None where none exist)."""
+        indices = sorted(self._by_index)
+        if not indices:
+            return []
+        out: list[np.ndarray | None] = [
+            None for _ in self._by_index[indices[0]]
+        ]
+        for index in indices:
+            for j, grad in enumerate(self._by_index[index]):
+                if grad is None:
+                    continue
+                if out[j] is None:
+                    out[j] = grad.copy()
+                else:
+                    out[j] += grad
+        return out
+
+    def reduced_loss(self) -> float:
+        """Loss terms summed in the same canonical schedule order."""
+        total = 0.0
+        for index in sorted(self._loss_by_index):
+            total += self._loss_by_index[index]
+        return total
+
+    def apply(self, parameters, reduced=None) -> None:
+        """Install the reduced gradients onto ``parameters``.
+
+        ``reduced`` lets multiple replicas share one reduction; each
+        call installs fresh copies so replicas never alias buffers.
+        Gradient arrays are tracked on the parameter's device (they are
+        part of real training's memory peak).
+        """
+        grads = self.reduced() if reduced is None else reduced
+        for p, grad in zip(parameters, grads):
+            if grad is None:
+                p.grad = None
+                continue
+            p.grad = grad if reduced is None else grad.copy()
+            if p.device is not None:
+                p.device.track(p.grad)
+
+
 @dataclass
 class TrainResult:
     """Outcome of one training iteration.
@@ -105,6 +191,7 @@ class MicroBatchTrainer:
         self.optimizer = optimizer
         self.device = device
         self.kernel = resolve_backend(kernel_backend)
+        self._contributions = GradientContributions()
         self.reuse = None
         # Optional MemoryTimelineRecorder (obs.observatory.timeline);
         # None keeps the hot path at a single attribute check.
@@ -155,6 +242,7 @@ class MicroBatchTrainer:
     def begin_iteration(self) -> None:
         """Zero gradients and reset the device peak for a new iteration."""
         self.model.zero_grad()
+        self._contributions = GradientContributions()
         if self.device is not None:
             self.device.reset_peak()
 
@@ -211,6 +299,15 @@ class MicroBatchTrainer:
                     loss_value = partial.item()
                 finally:
                     self.kernel.end_group()
+            # Canonical accumulation semantics: each micro-batch's
+            # contribution is snapshot under its schedule index and the
+            # gradients are re-zeroed, so finish_iteration's ordered
+            # reduction is bit-identical no matter which device (or how
+            # many) executed the micro-batches.
+            self._contributions.record(
+                index, self.model.parameters(), loss_value
+            )
+            self.model.zero_grad()
             self._simulate_compute(mb.blocks, profiler)
             peak = None
             if self.device is not None:
@@ -231,7 +328,9 @@ class MicroBatchTrainer:
         n_micro_batches: int,
         profiler: Profiler,
     ) -> TrainResult:
-        """One optimizer step over the accumulated gradients."""
+        """One optimizer step over the schedule-order-reduced gradients."""
+        if self._contributions.n_recorded:
+            self._contributions.apply(self.model.parameters())
         with profiler.phase("optimizer_step"):
             self.optimizer.step()
 

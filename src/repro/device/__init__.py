@@ -23,12 +23,17 @@ from repro.device.memory import MemoryTracker
 from repro.device.device import MultiGPU, SimulatedGPU
 from repro.device.costmodel import (
     A100_80GB,
+    DeviceSpec,
     GPUSpec,
+    NVLINK_A100,
+    PCIE_RTX6000,
     RTX6000_24GB,
     kernel_time,
+    link_time,
     transfer_time,
 )
 from repro.device.feature_cache import FeatureCache
+from repro.device.fleet import DeviceFleet
 from repro.device.profiler import Profiler
 
 __all__ = [
@@ -36,10 +41,15 @@ __all__ = [
     "MemoryTracker",
     "SimulatedGPU",
     "MultiGPU",
+    "DeviceFleet",
+    "DeviceSpec",
     "GPUSpec",
     "RTX6000_24GB",
     "A100_80GB",
+    "PCIE_RTX6000",
+    "NVLINK_A100",
     "kernel_time",
+    "link_time",
     "transfer_time",
     "Profiler",
 ]

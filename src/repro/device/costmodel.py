@@ -62,6 +62,47 @@ A100_80GB = GPUSpec(
 )
 
 
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One device of a fleet: a GPU plus its inter-device link.
+
+    Historically the inter-GPU link was described by a bare bandwidth
+    number and a latency constant hardcoded inside
+    :meth:`~repro.device.device.MultiGPU.allreduce`; both now live here
+    so collectives and halo exchanges price messages consistently.
+
+    Attributes:
+        gpu: the compute/memory/PCIe constants of the device itself.
+        interconnect_bandwidth: attainable device-to-device bandwidth,
+            B/s; ``None`` falls back to the GPU's PCIe bandwidth (the
+            paper's §V-G setup, where GPUs peer over the PCIe switch).
+        interconnect_latency_s: fixed per-message link latency, seconds
+            (the constant formerly hardcoded as ``20e-6``).
+    """
+
+    gpu: GPUSpec = RTX6000_24GB
+    interconnect_bandwidth: float | None = None
+    interconnect_latency_s: float = 20e-6
+
+    @property
+    def link_bandwidth(self) -> float:
+        """Effective device-to-device bandwidth, B/s."""
+        if self.interconnect_bandwidth is not None:
+            return self.interconnect_bandwidth
+        return self.gpu.pcie_bandwidth
+
+
+#: The paper's multi-GPU testbed: RTX 6000s peering over PCIe 3 x16.
+PCIE_RTX6000 = DeviceSpec(gpu=RTX6000_24GB)
+
+#: A100s over an NVLink-class link (~10x PCIe bandwidth, lower latency).
+NVLINK_A100 = DeviceSpec(
+    gpu=A100_80GB,
+    interconnect_bandwidth=200e9,
+    interconnect_latency_s=5e-6,
+)
+
+
 def kernel_time(spec: GPUSpec, flops: float, bytes_moved: float) -> float:
     """Roofline kernel duration: max(compute, memory) + launch overhead."""
     compute = flops / spec.flops
@@ -72,3 +113,16 @@ def kernel_time(spec: GPUSpec, flops: float, bytes_moved: float) -> float:
 def transfer_time(spec: GPUSpec, nbytes: float) -> float:
     """Host-to-device copy duration over PCIe (plus a 10 µs setup)."""
     return nbytes / spec.pcie_bandwidth + 10e-6
+
+
+def link_time(
+    spec: DeviceSpec, nbytes: float, *, n_messages: int = 1
+) -> float:
+    """Device-to-device transfer duration over the interconnect.
+
+    ``n_messages`` counts the fixed-latency round trips (one per peer
+    for a halo gather, ``2 (n - 1)`` for a ring all-reduce).
+    """
+    return nbytes / spec.link_bandwidth + n_messages * (
+        spec.interconnect_latency_s
+    )

@@ -96,50 +96,40 @@ class SimulatedGPU:
         return f"SimulatedGPU({self.name}, capacity={cap_str})"
 
 
+def _fleet_cls():
+    # Deferred: fleet.py imports SimulatedGPU from this module.
+    from repro.device.fleet import DeviceFleet
+
+    return DeviceFleet
+
+
 class MultiGPU:
     """Data-parallel group of simulated GPUs connected by PCIe.
 
     Models the paper's §V-G setup: micro-batches are distributed across
     devices; after each round the gradient all-reduce costs one
     parameter-sized transfer per ring step over the inter-GPU link.
+
+    A thin facade over :class:`~repro.device.fleet.DeviceFleet` kept
+    for its historical constructor signature; the link latency that
+    used to be hardcoded here (``20e-6``) now comes from the fleet's
+    :class:`~repro.device.costmodel.DeviceSpec`.
     """
 
-    def __init__(
-        self,
+    def __new__(
+        cls,
         n_devices: int,
         capacity_bytes: int | None = None,
         *,
         spec: GPUSpec = RTX6000_24GB,
         interconnect_bandwidth: float | None = None,
-    ) -> None:
-        if n_devices < 1:
-            raise DeviceError(f"need at least 1 device, got {n_devices}")
-        self.devices = [
-            SimulatedGPU(capacity_bytes, spec=spec, name=f"{spec.name}:{i}")
-            for i in range(n_devices)
-        ]
-        self.interconnect_bandwidth = (
-            interconnect_bandwidth
-            if interconnect_bandwidth is not None
-            else spec.pcie_bandwidth
+        interconnect_latency_s: float | None = None,
+    ):
+        fleet = _fleet_cls()(
+            n_devices,
+            capacity_bytes,
+            spec=spec,
+            interconnect_bandwidth=interconnect_bandwidth,
+            interconnect_latency_s=interconnect_latency_s,
         )
-        self.allreduce_time_s = 0.0
-
-    @property
-    def n_devices(self) -> int:
-        return len(self.devices)
-
-    def allreduce(self, nbytes: int) -> float:
-        """Ring all-reduce of ``nbytes``: 2 (n-1)/n traffic per device."""
-        n = self.n_devices
-        if n == 1:
-            return 0.0
-        traffic = 2.0 * (n - 1) / n * nbytes
-        duration = traffic / self.interconnect_bandwidth + 20e-6
-        self.allreduce_time_s += duration
-        return duration
-
-    @property
-    def sim_time_s(self) -> float:
-        """Data-parallel makespan: slowest device plus communication."""
-        return max(d.sim_time_s for d in self.devices) + self.allreduce_time_s
+        return fleet

@@ -69,6 +69,13 @@ METRIC_NAMES = frozenset(
         "buffalo.store.gather_s",
         "buffalo.store.gather_bytes",
         "buffalo.store.prefetch_declined",
+        # multi-device fleet (core/split_parallel.py)
+        "buffalo.device.count",
+        "buffalo.device.peak_bytes",
+        "buffalo.device.halo_bytes",
+        "buffalo.device.allreduce_bytes",
+        "buffalo.device.halo_exchange_s",
+        "buffalo.device.allreduce_s",
     }
 )
 

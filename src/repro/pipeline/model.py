@@ -106,3 +106,34 @@ def modeled_speedup(timings: list[StageTiming], depth: int) -> float:
     if makespan <= 0.0:
         return 1.0
     return sequential_time(timings) / makespan
+
+
+def fleet_makespan(
+    timings: list[StageTiming], assignments: list[int]
+) -> float:
+    """Makespan of a split-parallel iteration across device streams.
+
+    Host preparation (block generation + feature staging) stays serial
+    in schedule order — the paper's finding — while each micro-batch's
+    compute lands on its assigned device's stream::
+
+        prep_done[i]   = prep_cursor + block_gen + staging
+        start[i]       = max(prep_done[i], device_free[assignments[i]])
+        device_free[d] = start[i] + compute
+
+    The makespan is the slowest device stream; callers add the gradient
+    all-reduce barrier separately (it is a property of the fleet clock,
+    not of the schedule).
+    """
+    if len(timings) != len(assignments):
+        raise ReproError(
+            f"need one device assignment per timing: got "
+            f"{len(assignments)} for {len(timings)} timings"
+        )
+    prep_cursor = 0.0
+    device_free: dict[int, float] = {}
+    for timing, device in zip(timings, assignments):
+        prep_cursor += timing.block_gen_s + timing.staging_s
+        start = max(prep_cursor, device_free.get(device, 0.0))
+        device_free[device] = start + timing.compute_s
+    return max(device_free.values(), default=0.0)

@@ -1,14 +1,18 @@
 """Property-based scheduler invariants (hypothesis, marked slow).
 
-Three paper-level invariants, checked over randomized power-law batches
-and budgets:
+Paper-level invariants, checked over randomized power-law batches and
+budgets:
 
 1. every output node lands in exactly one bucket group (the groups
    partition the seed set — Algorithm 2's disjointness precondition);
 2. micro-bucket splitting partitions the parent bucket's rows exactly
    (§IV-C);
 3. whenever the scheduler returns a plan, every group's estimated
-   memory respects the constraint (Algorithm 3's acceptance rule).
+   memory respects the constraint (Algorithm 3's acceptance rule);
+4. the joint (K, N) placement assigns every bucket group to exactly one
+   device, its per-device Eq. 1-2 ledgers fit the budget, and each
+   device's halo set is exactly the cross-partition part of its
+   groups' input node sets (split-parallel extension).
 """
 
 import functools
@@ -19,6 +23,11 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import BuffaloScheduler, generate_blocks_fast
+from repro.core.split_parallel import (
+    ensure_group_count,
+    partition_nodes,
+    plan_placement,
+)
 from repro.core.splitting import split_explosion_bucket
 from repro.datasets import powerlaw_cluster_graph
 from repro.errors import SchedulingError
@@ -118,3 +127,77 @@ def test_split_partitions_bucket_exactly(volume, k, degree, seed):
     assert all(s >= 1 for s in sizes)
     assert max(sizes) - min(sizes) <= 1
     assert len(pieces) == min(k, volume)
+
+
+@settings(max_examples=25, **COMMON_SETTINGS)
+@given(
+    graph_seed=st.integers(0, 3),
+    sample_seed=st.integers(0, 10**6),
+    n_seeds=st.integers(8, 60),
+    cutoff=st.integers(2, 8),
+    divisor=st.floats(1.0, 12.0),
+    n_devices=st.integers(1, 5),
+)
+def test_placement_partitions_fits_budget_and_halo_exact(
+    graph_seed, sample_seed, n_seeds, cutoff, divisor, n_devices
+):
+    batch, plan, constraint = _schedule(
+        graph_seed, sample_seed, n_seeds, cutoff, divisor
+    )
+    if plan is None:
+        return
+    graph = _graph(graph_seed)
+    blocks = generate_blocks_fast(batch)
+    try:
+        plan, regrouped = ensure_group_count(
+            plan, n_devices, constraint
+        )
+    except SchedulingError:
+        return  # no feasible K=N regrouping: properties vacuous
+    owner = partition_nodes(graph.n_nodes, n_devices)
+    placement = plan_placement(
+        plan, blocks, batch, n_devices, constraint, owner=owner
+    )
+
+    # (4a) assignments place every group on exactly one device.
+    assert len(placement.assignments) == plan.k
+    assert all(0 <= d < n_devices for d in placement.assignments)
+    claimed = sorted(
+        i for d in range(n_devices) for i in placement.groups_of(d)
+    )
+    assert claimed == list(range(plan.k))
+    if regrouped:
+        # Regrouping preserves the exact output partition.
+        rows = np.concatenate([g.rows for g in plan.groups])
+        np.testing.assert_array_equal(
+            np.sort(rows), np.arange(batch.n_seeds)
+        )
+
+    # (4b) per-device ledger = the worst assigned group estimate
+    # (groups run sequentially) and fits the budget.
+    estimates = plan.estimated_bytes
+    for d in range(n_devices):
+        mine = placement.groups_of(d)
+        expected = max((estimates[i] for i in mine), default=0.0)
+        assert placement.per_device_bytes[d] == expected
+        assert placement.per_device_bytes[d] <= constraint + 1e-9
+
+    # (4c) halo sets are exactly the cross-partition intersection of
+    # the assigned groups' (global) input node sets.
+    local_sets = plan.input_node_sets(blocks)
+    for d in range(n_devices):
+        mine = placement.groups_of(d)
+        if not mine:
+            assert placement.halo_sets[d].size == 0
+            continue
+        union = np.unique(
+            np.concatenate(
+                [batch.node_map[local_sets[i]] for i in mine]
+            )
+        )
+        expected_halo = union[owner[union] != d]
+        np.testing.assert_array_equal(
+            placement.halo_sets[d], expected_halo
+        )
+        # No halo node is owned by its reader.
+        assert not np.any(owner[placement.halo_sets[d]] == d)

@@ -1,0 +1,250 @@
+"""Differential parity: split-parallel == data-parallel == single device.
+
+The paper's full-batch gradient-parity invariant (§IV-B) extends to the
+multi-device trainers by construction: every trainer records each
+micro-batch's gradient contribution under its schedule index and
+installs the same ascending-index reduction
+(:class:`repro.core.GradientContributions`).  These tests pin the
+strong form of the claim — on a *shared* schedule (same K), losses,
+gradients, and post-step weights are **bit-for-bit** equal across
+
+* the single-device Buffalo trainer,
+* the data-parallel trainer at N devices, and
+* the split-parallel trainer at N devices,
+
+for N in {1, 2} in tier-1 and N=4 in the nightly ``slow`` sweep, over
+multiple optimizer steps.  Against a *different* schedule (true
+full-batch K=1) only rtol-closeness holds — float addition is not
+associative across grouping changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import budget_bytes
+from repro.core import BuffaloTrainer, DataParallelBuffaloTrainer
+from repro.core.split_parallel import SplitParallelBuffaloTrainer
+from repro.datasets import load
+from repro.device import DeviceFleet, MultiGPU, SimulatedGPU
+from repro.gnn.footprint import ModelSpec
+
+FANOUTS = [5, 5]
+N_SEEDS = 60
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("ogbn_arxiv", scale=0.02, seed=0)
+
+
+@pytest.fixture(scope="module")
+def spec(dataset):
+    return ModelSpec(dataset.feat_dim, 16, dataset.n_classes, 2, "mean")
+
+
+@pytest.fixture(scope="module")
+def seeds(dataset):
+    return dataset.train_nodes[:N_SEEDS]
+
+
+@pytest.fixture(scope="module")
+def budget(dataset):
+    return budget_bytes(dataset, 24)
+
+
+@pytest.fixture(scope="module")
+def constraint(dataset, spec, seeds, budget):
+    """A memory constraint forcing K >= 4 on this batch.
+
+    Every fleet size in {1, 2, 4} then executes the *same* schedule —
+    the precondition for bit-for-bit parity.
+    """
+    probe = BuffaloTrainer(
+        dataset,
+        spec,
+        SimulatedGPU(capacity_bytes=budget),
+        fanouts=FANOUTS,
+        seed=0,
+        memory_constraint=float("inf"),
+    )
+    _, _, plan, _ = probe._plan_batch(seeds)
+    return 1.15 * sum(plan.estimated_bytes) / 4
+
+
+def make_single(dataset, spec, budget, constraint):
+    return BuffaloTrainer(
+        dataset,
+        spec,
+        SimulatedGPU(capacity_bytes=budget),
+        fanouts=FANOUTS,
+        seed=0,
+        memory_constraint=constraint,
+    )
+
+
+def make_split(dataset, spec, budget, constraint, n):
+    return SplitParallelBuffaloTrainer(
+        dataset,
+        spec,
+        DeviceFleet(n, capacity_bytes=budget),
+        fanouts=FANOUTS,
+        seed=0,
+        memory_constraint=constraint,
+    )
+
+
+def make_data(dataset, spec, budget, constraint, n):
+    return DataParallelBuffaloTrainer(
+        dataset,
+        spec,
+        MultiGPU(n, capacity_bytes=budget),
+        fanouts=FANOUTS,
+        seed=0,
+        memory_constraint=constraint,
+    )
+
+
+def assert_states_equal(a, b, context):
+    sa, sb = a.state_dict(), b.state_dict()
+    assert sa.keys() == sb.keys()
+    for key in sa:
+        assert np.array_equal(sa[key], sb[key]), f"{context}: {key}"
+
+
+def assert_grads_equal(a, b, context):
+    for i, (pa, pb) in enumerate(zip(a.parameters(), b.parameters())):
+        if pa.grad is None:
+            assert pb.grad is None, f"{context}: param {i}"
+            continue
+        assert np.array_equal(pa.grad, pb.grad), f"{context}: param {i}"
+
+
+def run_lockstep(reference, others, seeds, iterations=3):
+    """Run all trainers the same iterations; assert bitwise parity."""
+    for it in range(iterations):
+        ref = reference.run_iteration(seeds)
+        ref_loss = ref.result.loss
+        for name, trainer in others.items():
+            report = trainer.run_iteration(seeds)
+            context = f"{name} iteration {it}"
+            assert report.result.loss == ref_loss, context
+            assert (
+                report.n_micro_batches == ref.n_micro_batches
+            ), context
+            assert_grads_equal(reference.model, trainer.model, context)
+            assert_states_equal(reference.model, trainer.model, context)
+
+
+class TestBitwiseParity:
+    def test_split_n2_matches_single_device(
+        self, dataset, spec, seeds, budget, constraint
+    ):
+        run_lockstep(
+            make_single(dataset, spec, budget, constraint),
+            {"split2": make_split(dataset, spec, budget, constraint, 2)},
+            seeds,
+        )
+
+    def test_data_parallel_n2_matches_single_device(
+        self, dataset, spec, seeds, budget, constraint
+    ):
+        run_lockstep(
+            make_single(dataset, spec, budget, constraint),
+            {"data2": make_data(dataset, spec, budget, constraint, 2)},
+            seeds,
+        )
+
+    def test_split_matches_data_parallel(
+        self, dataset, spec, seeds, budget, constraint
+    ):
+        run_lockstep(
+            make_data(dataset, spec, budget, constraint, 2),
+            {"split2": make_split(dataset, spec, budget, constraint, 2)},
+            seeds,
+        )
+
+    @pytest.mark.slow
+    def test_split_n4_matrix(
+        self, dataset, spec, seeds, budget, constraint
+    ):
+        """Nightly matrix: N=4 split vs single-device and data-parallel."""
+        run_lockstep(
+            make_single(dataset, spec, budget, constraint),
+            {
+                "split4": make_split(dataset, spec, budget, constraint, 4),
+                "data4": make_data(dataset, spec, budget, constraint, 4),
+            },
+            seeds,
+        )
+
+
+class TestDegenerateFleet:
+    def test_n1_degenerates_to_single_device(
+        self, dataset, spec, seeds, budget, constraint
+    ):
+        single = make_single(dataset, spec, budget, constraint)
+        split = make_split(dataset, spec, budget, constraint, 1)
+        for it in range(2):
+            ref = single.run_iteration(seeds)
+            report = split.run_iteration(seeds)
+            assert report.loss == ref.result.loss
+            assert report.halo_bytes == 0
+            assert report.allreduce_bytes == 0
+            assert report.comm_time_s == 0.0
+            assert report.placement.assignments == (
+                [0] * report.n_micro_batches
+            )
+            assert_states_equal(single.model, split.model, f"iter {it}")
+
+    def test_n1_halo_sets_empty(
+        self, dataset, spec, seeds, budget, constraint
+    ):
+        split = make_split(dataset, spec, budget, constraint, 1)
+        report = split.run_iteration(seeds)
+        assert all(s.size == 0 for s in report.placement.halo_sets)
+
+
+class TestFullBatchCloseness:
+    def test_split_close_to_full_batch(
+        self, dataset, spec, seeds, budget
+    ):
+        """Different schedules (K=1 vs K>1) agree only to rtol."""
+        full = BuffaloTrainer(
+            dataset,
+            spec,
+            SimulatedGPU(capacity_bytes=budget),
+            fanouts=FANOUTS,
+            seed=0,
+            memory_constraint=float("inf"),
+        )
+        probe = BuffaloTrainer(
+            dataset,
+            spec,
+            SimulatedGPU(capacity_bytes=budget),
+            fanouts=FANOUTS,
+            seed=0,
+            memory_constraint=float("inf"),
+        )
+        _, _, plan, _ = probe._plan_batch(seeds)
+        constraint = 1.15 * sum(plan.estimated_bytes) / 4
+        split = SplitParallelBuffaloTrainer(
+            dataset,
+            spec,
+            DeviceFleet(2, capacity_bytes=budget),
+            fanouts=FANOUTS,
+            seed=0,
+            memory_constraint=constraint,
+        )
+        ref = full.run_iteration(seeds)
+        report = split.run_iteration(seeds)
+        assert ref.n_micro_batches == 1
+        assert report.n_micro_batches >= 4
+        np.testing.assert_allclose(
+            report.loss, ref.result.loss, rtol=1e-5
+        )
+        for pa, pb in zip(
+            full.model.parameters(), split.model.parameters()
+        ):
+            np.testing.assert_allclose(
+                pa.data, pb.data, rtol=1e-4, atol=1e-7
+            )

@@ -123,6 +123,89 @@ class TestTrain:
             main(["train", "--fanouts", "ten,five", "--dataset", "cora"])
 
 
+class TestMultiDeviceTrain:
+    SMOKE = [
+        "train",
+        "--dataset",
+        "cora",
+        "--scale",
+        "0.2",
+        "--epochs",
+        "1",
+        "--batch-size",
+        "30",
+        "--fanouts",
+        "5,5",
+    ]
+
+    def test_rejects_zero_devices(self):
+        with pytest.raises(SystemExit, match="--devices"):
+            main(self.SMOKE + ["--devices", "0"])
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--reuse-features"],
+            ["--ledger"],
+            ["--pipeline-depth", "2"],
+            ["--pipeline-mode", "sync"],
+            ["--kernel-backend", "fused"],
+            ["--feature-cache-bytes", "1000"],
+            ["--parallel", "data", "--timeline", "t.jsonl"],
+        ],
+    )
+    def test_rejects_incompatible_flags(self, flags):
+        with pytest.raises(SystemExit, match="does not support"):
+            main(self.SMOKE + ["--devices", "2"] + flags)
+
+    def test_split_smoke_emits_device_metrics(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.schema import METRIC_NAMES
+
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            self.SMOKE
+            + [
+                "--devices",
+                "2",
+                "--parallel",
+                "split",
+                "--metrics",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "across 2 devices (split-parallel)" in out
+        assert "halo" in out
+        snapshot = json.loads(metrics_path.read_text())["metrics"]
+        emitted = {
+            name
+            for name in snapshot
+            if name.startswith("buffalo.device.")
+        }
+        assert emitted == {
+            "buffalo.device.count",
+            "buffalo.device.peak_bytes",
+            "buffalo.device.halo_bytes",
+            "buffalo.device.allreduce_bytes",
+            "buffalo.device.halo_exchange_s",
+            "buffalo.device.allreduce_s",
+        }
+        # Every emitted name is schema-registered (metric-name lint).
+        assert emitted <= METRIC_NAMES
+        assert snapshot["buffalo.device.count"]["value"] == 2
+        assert snapshot["buffalo.device.allreduce_bytes"]["value"] > 0
+
+    def test_data_parallel_smoke(self, capsys):
+        code = main(
+            self.SMOKE + ["--devices", "2", "--parallel", "data"]
+        )
+        assert code == 0
+        assert "(data-parallel)" in capsys.readouterr().out
+
+
 class TestSchedule:
     def test_prints_plan(self, capsys):
         code = main(
@@ -226,6 +309,13 @@ class TestExperiment:
         out = capsys.readouterr().out
         assert "Fig 1" in out
         assert "[PASS]" in out
+
+    def test_split_scaling_registered(self):
+        assert "split_scaling" in EXPERIMENTS
+
+    def test_bench_experiment_unknown_name_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["bench", "experiment", "fig99"])
 
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
