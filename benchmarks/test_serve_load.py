@@ -1,0 +1,25 @@
+"""Benchmark: online serving under open-loop load.
+
+Runs :mod:`repro.bench.experiments.serve_load` once and asserts its
+shape (batched predictions bit-identical to unbatched, coalescing wins
+modeled throughput, bounded admission sheds load); the result table is
+saved under ``benchmarks/results/serve_load.txt``.
+"""
+
+from repro.bench.experiments import serve_load
+
+from .conftest import run_and_check
+
+
+def test_serve_load(benchmark):
+    output = run_and_check(benchmark, serve_load.run)
+    assert output.data["batched_vs_unbatched"]["speedup"] > 1.0
+    batched = output.data["batched"]
+    assert (
+        batched["p50_latency_s"]
+        <= batched["p95_latency_s"]
+        <= batched["p99_latency_s"]
+    )
+    assert batched["p99_latency_s"] < output.data["unbatched"]["p99_latency_s"]
+    assert output.data["cache"]["hit_rate"] > 0.0
+    assert output.data["merged_forward"]["max_abs_dev"] <= 1e-5

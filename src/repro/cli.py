@@ -7,6 +7,7 @@ Subcommands::
     python -m repro train --trace t.jsonl --metrics m.json  # + telemetry
     python -m repro train --data-store d.store  # out-of-core training
     python -m repro schedule --dataset reddit   # inspect a plan
+    python -m repro serve --dataset ogbn_arxiv  # live serving smoke
     python -m repro store build cora.npz cora.store  # convert to a store
     python -m repro store info cora.store       # inspect a store
     python -m repro trace summarize t.jsonl     # per-phase breakdown
@@ -55,6 +56,7 @@ EXPERIMENTS = (
     "store_io",
     "kernels",
     "split_scaling",
+    "serve_load",
 )
 
 
@@ -193,6 +195,64 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--fanouts", default="10,25")
     schedule.add_argument("--seed", type=int, default=0)
     _add_obs_flags(schedule)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online serving tier against a generated request "
+        "trace (docs/serving.md)",
+    )
+    serve.add_argument("--dataset", default="ogbn_arxiv")
+    serve.add_argument("--scale", type=float, default=0.05)
+    serve.add_argument("--aggregator", default="mean")
+    serve.add_argument("--hidden", type=int, default=32)
+    serve.add_argument(
+        "--fanouts", default="10,25", help="comma list, output layer first"
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=100,
+        help="number of seeded trace requests to replay",
+    )
+    serve.add_argument(
+        "--rate-hz",
+        type=float,
+        default=1000.0,
+        help="open-loop arrival rate of the generated trace",
+    )
+    serve.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        help="popularity skew exponent (higher = hotter head)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="coalescing bound: dispatch a degree-key group at this size",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="coalescing bound: dispatch a non-full group after this wait",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        help="admission bound; arrivals beyond it are rejected "
+        "with queue_full",
+    )
+    serve.add_argument(
+        "--cache-mb",
+        type=float,
+        default=8.0,
+        help="embedding-cache byte budget in MiB (0 disables)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(serve)
 
     store = sub.add_parser(
         "store", help="build or inspect an on-disk dataset store"
@@ -939,6 +999,102 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import numpy as np
+
+    from repro.bench.workloads import standard_spec
+    from repro.core.api import build_model
+    from repro.datasets import load
+    from repro.serve import (
+        BatchPolicy,
+        EmbeddingCache,
+        LoadSpec,
+        ServeEngine,
+        ServeServer,
+        generate_trace,
+    )
+
+    _require_positive(args.requests, "--requests")
+    _require_positive(args.rate_hz, "--rate-hz")
+    _require_positive(args.max_batch, "--max-batch")
+    _require_positive(args.queue_depth, "--queue-depth")
+    if args.max_wait_ms < 0:
+        raise SystemExit(
+            f"--max-wait-ms must be >= 0, got {args.max_wait_ms}"
+        )
+    if args.cache_mb < 0:
+        raise SystemExit(f"--cache-mb must be >= 0, got {args.cache_mb}")
+    fanouts = _parse_fanouts(args.fanouts)
+    dataset = load(args.dataset, scale=args.scale, seed=args.seed)
+    spec = standard_spec(
+        dataset,
+        aggregator=args.aggregator,
+        hidden=args.hidden,
+        n_layers=len(fanouts),
+    )
+    model = build_model(spec, rng=args.seed)
+    trace = generate_trace(
+        LoadSpec(
+            n_requests=args.requests,
+            rate_hz=args.rate_hz,
+            zipf_exponent=args.zipf,
+            seed=args.seed,
+        ),
+        dataset.train_nodes,
+    )
+    policy = BatchPolicy(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue_depth=args.queue_depth,
+    )
+    with _observability(args):
+        engine = ServeEngine(
+            model,
+            dataset.graph,
+            dataset.features,
+            fanouts,
+            sampler_seed=args.seed,
+            cache=EmbeddingCache(int(args.cache_mb * 2**20)),
+        )
+        server = ServeServer(engine, policy).start()
+        pendings = [server.submit(req.node) for req in trace]
+        server.stop(drain=True)
+    latencies = []
+    hits = 0
+    rejects: dict[str, int] = {}
+    for pending in pendings:
+        if pending.rejected:
+            reason = pending.reject_reason or "unknown"
+            rejects[reason] = rejects.get(reason, 0) + 1
+            continue
+        response = pending.result(timeout=0.0)
+        latencies.append(response.latency_s)
+        hits += int(response.cache_hit)
+    served = len(latencies)
+    print(
+        f"{args.dataset}: served {served}/{len(trace)} requests in "
+        f"{server.batches} batches "
+        f"(max_batch={policy.max_batch}, "
+        f"max_wait={policy.max_wait_s * 1e3:.1f} ms, "
+        f"queue_depth={policy.max_queue_depth})"
+    )
+    if served:
+        arr = np.array(latencies)
+        print(
+            f"  latency p50 {np.quantile(arr, 0.50) * 1e3:.2f} ms  "
+            f"p95 {np.quantile(arr, 0.95) * 1e3:.2f} ms  "
+            f"p99 {np.quantile(arr, 0.99) * 1e3:.2f} ms  "
+            f"cache hits {hits}"
+        )
+    for reason in sorted(rejects):
+        print(f"  rejected ({reason}): {rejects[reason]}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        print(f"metrics written to {args.metrics}")
+    return 0 if served + sum(rejects.values()) == len(trace) else 1
+
+
 def _cmd_store(args) -> int:
     from pathlib import Path
 
@@ -1286,6 +1442,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "train": _cmd_train,
         "schedule": _cmd_schedule,
+        "serve": _cmd_serve,
         "store": _cmd_store,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,

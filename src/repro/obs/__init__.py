@@ -16,6 +16,7 @@ from repro.obs.estimator import EstimatorTelemetry, GroupMemSample
 from repro.obs.metrics import (
     BYTE_BUCKETS,
     ESTIMATOR_ERROR_BUCKETS,
+    LATENCY_SECONDS_BUCKETS,
     SMALL_COUNT_BUCKETS,
     Counter,
     Gauge,
@@ -53,6 +54,7 @@ __all__ = [
     "GroupMemSample",
     "Histogram",
     "JsonlFileSink",
+    "LATENCY_SECONDS_BUCKETS",
     "ListSink",
     "METRIC_NAMES",
     "MetricsRegistry",

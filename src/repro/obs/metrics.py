@@ -31,6 +31,7 @@ __all__ = [
     "SMALL_COUNT_BUCKETS",
     "BYTE_BUCKETS",
     "SECONDS_BUCKETS",
+    "LATENCY_SECONDS_BUCKETS",
 ]
 
 # Relative-error buckets for the Table III estimator-accuracy histogram:
@@ -49,6 +50,19 @@ BYTE_BUCKETS = tuple(float(4**i * 1024) for i in range(13))
 # Wall-clock durations from 10 µs to 100 s (gather latency, staging,
 # queue waits) in decade steps.
 SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0)
+
+# Online-serving latencies: the training-phase SECONDS_BUCKETS above
+# jump a full decade per edge, which collapses every sub-millisecond
+# request into two buckets and makes serving p99s meaningless.  These
+# run 20 µs -> 5 s on a ~2.5x grid, giving sub-millisecond resolution
+# where serving SLOs live.  Shared by the ``buffalo.serve.*``
+# histograms and the serve_load ledger quantiles so both report the
+# same numbers.
+LATENCY_SECONDS_BUCKETS = (
+    2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
 
 
 def bucket_quantile(

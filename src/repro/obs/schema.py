@@ -76,6 +76,25 @@ METRIC_NAMES = frozenset(
         "buffalo.device.allreduce_bytes",
         "buffalo.device.halo_exchange_s",
         "buffalo.device.allreduce_s",
+        # online serving tier (serve/request.py, serve/engine.py,
+        # serve/cache.py, serve/server.py, serve/sim.py)
+        "buffalo.serve.requests_total",
+        "buffalo.serve.admitted_total",
+        "buffalo.serve.rejected_total",
+        "buffalo.serve.queue_depth",
+        "buffalo.serve.queue_wait_s",
+        "buffalo.serve.request_latency_s",
+        "buffalo.serve.batches_total",
+        "buffalo.serve.batch_occupancy",
+        "buffalo.serve.batch_compute_s",
+        "buffalo.serve.batch_edges",
+        "buffalo.serve.predictions_total",
+        "buffalo.serve.embed_cache_hits",
+        "buffalo.serve.embed_cache_misses",
+        "buffalo.serve.embed_cache_evictions",
+        "buffalo.serve.embed_cache_bytes",
+        "buffalo.serve.invalidations_total",
+        "buffalo.serve.snapshot_rows",
     }
 )
 

@@ -1,0 +1,80 @@
+"""``repro.serve`` — bucketized online inference serving tier.
+
+Buffalo's degree buckets are not just a training trick: nodes of equal
+sampled degree share a fixed aggregation shape, so *serving* requests
+coalesced by degree key batch into the same dense kernels training
+uses.  This package is the forward-only tier around that idea (ISSUE 8):
+
+* :mod:`repro.serve.request` — admission-controlled intake
+  (:class:`RequestQueue`, bounded depth, reject-with-reason) and the
+  :class:`BatchPolicy` coalescing knobs;
+* :mod:`repro.serve.merge` — fuses independently sampled per-request
+  neighborhoods into one chain-consistent block list (the
+  single-kernel throughput path);
+* :mod:`repro.serve.engine` — :class:`ServeEngine`: cache lookup,
+  per-request deterministic sampling, coalesced feature gather, and a
+  strict-parity bucketed forward under ``no_grad`` (batched
+  predictions bit-identical to unbatched), with epoch-based
+  invalidation on graph/weight updates;
+* :mod:`repro.serve.cache` — :class:`EmbeddingCache`, a byte-budgeted
+  LRU of finished rows keyed by (node, epoch);
+* :mod:`repro.serve.server` — :class:`ServeServer`, the live threaded
+  loop;
+* :mod:`repro.serve.loadgen` / :mod:`repro.serve.sim` — seeded
+  open-loop load generation and the virtual-time simulator behind the
+  ``serve_load`` ledger gate.
+
+See ``docs/serving.md`` for the architecture tour.
+"""
+
+from repro.serve.cache import DEFAULT_EMBED_CACHE_BYTES, EmbeddingCache
+from repro.serve.engine import BatchStats, ServeEngine
+from repro.serve.loadgen import LoadSpec, generate_trace
+from repro.serve.merge import MergedBatch, merge_block_lists
+from repro.serve.request import (
+    REJECT_INVALID_NODE,
+    REJECT_QUEUE_FULL,
+    REJECT_REASONS,
+    REJECT_SHUTDOWN,
+    BatchPolicy,
+    PendingRequest,
+    RequestQueue,
+    ServeRejected,
+    ServeRequest,
+    ServeResponse,
+)
+from repro.serve.server import ServeServer
+from repro.serve.sim import (
+    ServeReport,
+    ServiceModel,
+    SimBatch,
+    SimResponse,
+    simulate,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "BatchStats",
+    "DEFAULT_EMBED_CACHE_BYTES",
+    "EmbeddingCache",
+    "LoadSpec",
+    "MergedBatch",
+    "PendingRequest",
+    "REJECT_INVALID_NODE",
+    "REJECT_QUEUE_FULL",
+    "REJECT_REASONS",
+    "REJECT_SHUTDOWN",
+    "RequestQueue",
+    "ServeEngine",
+    "ServeRejected",
+    "ServeReport",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeServer",
+    "ServiceModel",
+    "SimBatch",
+    "SimResponse",
+    "generate_trace",
+    "merge_block_lists",
+    "simulate",
+]

@@ -1,0 +1,209 @@
+"""Merging independently sampled request neighborhoods into one batch.
+
+Serving parity demands that a request's prediction never depends on
+which other requests happen to share its batch.  That rules out
+sampling one multi-seed batch (the training path samples each node's
+row once, at its *first* encounter, so neighbor sets would shift with
+batch composition).  Instead every request samples its L-hop
+neighborhood independently — seeded by ``(sampler_seed, version,
+node)`` — and :func:`merge_block_lists` fuses the per-request block
+lists into one chain-consistent merged list the model executes in a
+single forward pass.
+
+The construction walks the layers output-most first.  At each layer
+the merged destination ordering is inherited from the outer layer's
+source ordering, and the merged source ordering is that destination
+prefix followed by every request's non-destination tail (request
+order).  This preserves both Block invariants across the merge:
+
+* **dst-prefix** — ``src_nodes[:n_dst] == dst_nodes`` holds because the
+  merged sources literally start with the merged destinations;
+* **chaining** — ``blocks[i + 1].src_nodes == blocks[i].dst_nodes``
+  holds because layer ``i``'s destination ordering *is* layer
+  ``i + 1``'s source ordering, element for element.
+
+Each request keeps its own private id space (request ``r``'s local id
+``x`` becomes ``offset_r + x``), so merged blocks are block-diagonal:
+no aggregation row ever reads another request's nodes.  Aggregation is
+therefore exact per request; the residual difference between a merged
+forward and per-request forwards is only BLAS summation-order noise in
+the dense matmuls (row counts/positions change the blocking), which is
+why the engine's strict-parity default runs per-request forwards and
+treats the merged pass as the single-kernel throughput path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import INDEX_DTYPE
+from repro.errors import ReproError
+from repro.gnn.block import Block
+
+
+@dataclass
+class MergedBatch:
+    """One coalesced serving batch ready for a model forward.
+
+    Attributes:
+        blocks: chained merged blocks, input-most first; the output
+            block's row ``r`` is request ``r``'s seed.
+        input_nodes: global dataset ids of ``blocks[0].src_nodes`` (the
+            rows to gather features for, in order).
+        n_requests: number of merged requests.
+    """
+
+    blocks: list[Block]
+    input_nodes: np.ndarray
+    n_requests: int
+
+    @property
+    def n_edges(self) -> int:
+        """Total aggregation edges across all merged layers."""
+        return sum(b.n_edges for b in self.blocks)
+
+    @property
+    def n_input_rows(self) -> int:
+        return int(self.input_nodes.size)
+
+
+def merge_block_lists(
+    block_lists: list[list[Block]],
+    node_maps: list[np.ndarray],
+) -> MergedBatch:
+    """Fuse per-request block lists into one chained merged list.
+
+    Args:
+        block_lists: one ``generate_blocks_fast`` result per request
+            (input-most first, all the same depth).
+        node_maps: per-request local-id -> global-id maps (the sampled
+            batch's ``node_map``), aligned with ``block_lists``.
+
+    Returns:
+        A :class:`MergedBatch`; output row ``r`` of the final block is
+        request ``r``'s seed (requests in the given order).
+    """
+    if not block_lists:
+        raise ReproError("cannot merge an empty request batch")
+    if len(block_lists) != len(node_maps):
+        raise ReproError(
+            f"got {len(block_lists)} block lists but "
+            f"{len(node_maps)} node maps"
+        )
+    n_layers = len(block_lists[0])
+    if any(len(blocks) != n_layers for blocks in block_lists):
+        raise ReproError("all requests must share one aggregation depth")
+    n_requests = len(block_lists)
+    if n_layers == 0:
+        raise ReproError("request block lists are empty")
+
+    # Private id offsets: request r's local node x -> offsets[r] + x.
+    offsets = np.zeros(n_requests, dtype=INDEX_DTYPE)
+    for r in range(1, n_requests):
+        prev = block_lists[r - 1][0]
+        offsets[r] = offsets[r - 1] + int(prev.n_src)
+
+    # Destination ordering of the output layer: one seed row per
+    # request, request-major (multi-row requests concatenate in order).
+    dst_req = np.concatenate(
+        [
+            np.full(block_lists[r][-1].n_dst, r, dtype=INDEX_DTYPE)
+            for r in range(n_requests)
+        ]
+    )
+    dst_row = np.concatenate(
+        [
+            np.arange(block_lists[r][-1].n_dst, dtype=INDEX_DTYPE)
+            for r in range(n_requests)
+        ]
+    )
+
+    merged_reversed: list[Block] = []
+    for layer in range(n_layers - 1, -1, -1):
+        blocks = [block_lists[r][layer] for r in range(n_requests)]
+        n_dst_r = np.array([b.n_dst for b in blocks], dtype=INDEX_DTYPE)
+        n_src_r = np.array([b.n_src for b in blocks], dtype=INDEX_DTYPE)
+        total_dst = int(dst_req.size)
+
+        # Tail (non-dst source) rows, request-major after the dst prefix.
+        tail_sizes = n_src_r - n_dst_r
+        tail_offsets = total_dst + np.concatenate(
+            ([0], np.cumsum(tail_sizes)[:-1])
+        ).astype(INDEX_DTYPE)
+
+        # Per-request map: local src position -> merged src position.
+        pos_maps = [
+            np.empty(int(n_src_r[r]), dtype=INDEX_DTYPE)
+            for r in range(n_requests)
+        ]
+        for r in range(n_requests):
+            tail = int(tail_sizes[r])
+            if tail:
+                pos_maps[r][int(n_dst_r[r]):] = tail_offsets[r] + np.arange(
+                    tail, dtype=INDEX_DTYPE
+                )
+        merged_positions = np.arange(total_dst, dtype=INDEX_DTYPE)
+        for r in range(n_requests):
+            mine = dst_req == r
+            pos_maps[r][dst_row[mine]] = merged_positions[mine]
+
+        # Merged CSR: row j (merged dst position) copies request
+        # dst_req[j]'s row dst_row[j], indices remapped to merged
+        # source positions.
+        lengths = np.empty(total_dst, dtype=INDEX_DTYPE)
+        for r in range(n_requests):
+            mine = dst_req == r
+            degrees = np.diff(blocks[r].indptr)
+            lengths[mine] = degrees[dst_row[mine]]
+        indptr = np.zeros(total_dst + 1, dtype=INDEX_DTYPE)
+        np.cumsum(lengths, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=INDEX_DTYPE)
+        for j in range(total_dst):
+            r = int(dst_req[j])
+            p = int(dst_row[j])
+            b = blocks[r]
+            row = b.indices[int(b.indptr[p]):int(b.indptr[p + 1])]
+            indices[int(indptr[j]):int(indptr[j + 1])] = pos_maps[r][row]
+
+        # Merged node id values (private per-request spaces).
+        src_values = np.empty(int(n_src_r.sum()), dtype=INDEX_DTYPE)
+        for r in range(n_requests):
+            src_values[pos_maps[r]] = offsets[r] + blocks[r].src_nodes
+        dst_values = src_values[:total_dst]
+
+        merged_reversed.append(
+            Block(
+                src_nodes=src_values,
+                dst_nodes=dst_values,
+                indptr=indptr,
+                indices=indices,
+            )
+        )
+
+        # This layer's source ordering is the inner layer's destination
+        # ordering: source position q of request r is dst row q of
+        # blocks[layer - 1] (chained blocks share the node sequence).
+        src_req = np.empty(int(n_src_r.sum()), dtype=INDEX_DTYPE)
+        src_local = np.empty(int(n_src_r.sum()), dtype=INDEX_DTYPE)
+        for r in range(n_requests):
+            src_req[pos_maps[r]] = r
+            src_local[pos_maps[r]] = np.arange(
+                int(n_src_r[r]), dtype=INDEX_DTYPE
+            )
+        dst_req, dst_row = src_req, src_local
+
+    blocks_merged = merged_reversed[::-1]
+    # After the loop, (dst_req, dst_row) describe blocks[0].src_nodes:
+    # the input rows whose features feed the forward pass.
+    input_nodes = np.empty(dst_req.size, dtype=INDEX_DTYPE)
+    for r in range(n_requests):
+        mine = dst_req == r
+        locals_ = block_lists[r][0].src_nodes[dst_row[mine]]
+        input_nodes[mine] = node_maps[r][locals_]
+    return MergedBatch(
+        blocks=blocks_merged,
+        input_nodes=input_nodes,
+        n_requests=n_requests,
+    )

@@ -28,6 +28,7 @@ from repro.store.builder import (
 from repro.store.feature_store import (
     DEFAULT_HOT_CACHE_BYTES,
     FeatureStore,
+    FeatureStoreSnapshot,
 )
 from repro.store.graph_store import GraphStore
 from repro.store.layout import (
@@ -48,6 +49,7 @@ __all__ = [
     "DEFAULT_HOT_CACHE_BYTES",
     "DEFAULT_SHARD_ROWS",
     "FeatureStore",
+    "FeatureStoreSnapshot",
     "GraphStore",
     "MANIFEST_NAME",
     "STORE_MAGIC",

@@ -352,6 +352,30 @@ class FeatureStore:
             return len(self._staged)
 
     # ------------------------------------------------------------------
+    # Read-only snapshots (serving path)
+    # ------------------------------------------------------------------
+    def read_snapshot(self) -> "FeatureStoreSnapshot":
+        """A read-only view safe to gather from concurrently.
+
+        The serving tier gathers features while a training prefetcher
+        may be staging rows into this store from another thread.  A
+        snapshot never touches the store's mutable state — it captures
+        the hot cache arrays at creation time, opens its own shard
+        maps, and keeps its own statistics under its own lock — so
+        serve-path gathers neither consume training's staged entries
+        nor contend on (or race against) the store's lock.  Values are
+        bit-for-bit identical to :meth:`gather`.
+
+        The snapshot reads the same immutable on-disk shards the store
+        does; it remains valid after :meth:`close` (its captured hot
+        rows and private maps keep working).
+        """
+        with self._lock:
+            hot_rows = self._hot_rows
+            hot_slot = self._hot_slot
+        return FeatureStoreSnapshot(self, hot_rows, hot_slot)
+
+    # ------------------------------------------------------------------
     # ndarray compatibility
     # ------------------------------------------------------------------
     @property
@@ -398,4 +422,101 @@ class FeatureStore:
         return (
             f"FeatureStore(root={str(self.root)!r}, shape={self.shape}, "
             f"hot_rows={self.hot_rows}, shards={self.n_shards})"
+        )
+
+
+class FeatureStoreSnapshot:
+    """Read-only feature view over a store's shards and hot cache.
+
+    Created by :meth:`FeatureStore.read_snapshot`.  Shares no mutable
+    state with the parent store: the hot-cache arrays are captured
+    references (the store never mutates them in place), shard memmaps
+    are opened privately, and statistics live behind this object's own
+    lock.  Concurrent gathers from serving threads therefore cannot
+    trip a :class:`~repro.analysis.race.RaceSentinel` attached to the
+    training store, and never steal its staged prefetch entries.
+    """
+
+    def __init__(
+        self,
+        store: FeatureStore,
+        hot_rows: np.ndarray,
+        hot_slot: np.ndarray,
+    ) -> None:
+        self.root = store.root
+        self.manifest = store.manifest
+        self.dtype = store.dtype
+        self.shape = store.shape
+        self.ndim = 2
+        self.row_bytes = store.row_bytes
+        self.shard_rows = store.shard_rows
+        self._hot_rows = hot_rows
+        self._hot_slot = hot_slot
+        self._shards: dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+        self.rows_served = 0
+        self.hot_hits = 0
+
+    def _shard(self, shard: int) -> np.ndarray:
+        with self._lock:
+            mapped = self._shards.get(shard)
+        if mapped is None:
+            mapped = load_mapped(self.root, shard_name(shard), self.manifest)
+            with self._lock:
+                mapped = self._shards.setdefault(shard, mapped)
+        return mapped
+
+    def _read_rows(self, ids: np.ndarray) -> np.ndarray:
+        """Read ``ids`` (ascending) straight from private shard maps."""
+        out = np.empty((ids.size, self.shape[1]), dtype=self.dtype)
+        if ids.size == 0:
+            return out
+        shards = ids // self.shard_rows
+        bounds = np.flatnonzero(np.diff(shards)) + 1
+        start = 0
+        for end in list(bounds) + [ids.size]:
+            shard = int(shards[start])
+            local = ids[start:end] - shard * self.shard_rows
+            out[start:end] = self._shard(shard)[local]
+            start = end
+        return out
+
+    def gather(self, node_ids: np.ndarray) -> np.ndarray:
+        """Features of ``node_ids``, bit-identical to the store's."""
+        ids = np.asarray(node_ids, dtype=INDEX_DTYPE).ravel()
+        out = np.empty((ids.size, self.shape[1]), dtype=self.dtype)
+        slots = self._hot_slot[ids]
+        hot = slots >= 0
+        n_hot = int(np.count_nonzero(hot))
+        if n_hot:
+            out[hot] = self._hot_rows[slots[hot]]
+        if n_hot < ids.size:
+            cold_pos = np.flatnonzero(~hot)
+            cold_ids = ids[cold_pos]
+            order = np.argsort(cold_ids, kind="stable")
+            out[cold_pos[order]] = self._read_rows(cold_ids[order])
+        with self._lock:
+            self.rows_served += int(ids.size)
+            self.hot_hits += n_hot
+        get_metrics().counter(
+            "buffalo.serve.snapshot_rows",
+            help="feature rows served through read-only store snapshots",
+        ).inc(ids.size)
+        return out
+
+    def __getitem__(self, index):
+        if isinstance(index, (int, np.integer)):
+            return self.gather(np.asarray([index]))[0]
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.shape[0])
+            return self.gather(np.arange(start, stop, step))
+        return self.gather(index)
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"FeatureStoreSnapshot(root={str(self.root)!r}, "
+            f"shape={self.shape}, hot_rows={int(self._hot_rows.shape[0])})"
         )

@@ -1,0 +1,39 @@
+"""Shared fixtures for the serving-tier test suite."""
+
+import pytest
+
+from repro.bench.workloads import standard_spec
+from repro.core.api import build_model
+from repro.datasets import load
+from repro.serve import EmbeddingCache, ServeEngine
+
+FANOUTS = [3, 4]  # output layer first, growing inward like training
+
+
+@pytest.fixture(scope="session")
+def cora():
+    return load("cora", scale=0.2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def model(cora):
+    spec = standard_spec(cora, aggregator="mean", hidden=16)
+    return build_model(spec, rng=0)
+
+
+@pytest.fixture()
+def make_engine(cora, model):
+    """Factory for fresh engines (fresh cache each, same model/graph)."""
+
+    def factory(**kwargs):
+        kwargs.setdefault("cache", EmbeddingCache())
+        return ServeEngine(
+            model, cora.graph, cora.features, FANOUTS, **kwargs
+        )
+
+    return factory
+
+
+@pytest.fixture()
+def engine(make_engine):
+    return make_engine()

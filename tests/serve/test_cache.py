@@ -1,0 +1,75 @@
+"""EmbeddingCache: LRU byte budget and epoch invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import EmbeddingCache
+
+
+def row(value, n=8):
+    return np.full(n, value, dtype=np.float32)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = EmbeddingCache()
+        assert cache.get(1, epoch=0) is None
+        cache.put(1, 0, row(1.0))
+        np.testing.assert_array_equal(cache.get(1, 0), row(1.0))
+        assert cache.stats["hits"] == 1
+        assert cache.stats["misses"] == 1
+
+    def test_stale_epoch_is_a_miss_and_drops_the_row(self):
+        cache = EmbeddingCache()
+        cache.put(1, 0, row(1.0))
+        assert cache.get(1, epoch=1) is None
+        assert len(cache) == 0
+        # Even the original epoch misses now: the row is gone.
+        assert cache.get(1, epoch=0) is None
+
+
+class TestBudget:
+    def test_lru_eviction_under_byte_budget(self):
+        nbytes = row(0.0).nbytes
+        cache = EmbeddingCache(capacity_bytes=2 * nbytes)
+        cache.put(1, 0, row(1.0))
+        cache.put(2, 0, row(2.0))
+        cache.get(1, 0)  # refresh 1 -> 2 becomes LRU
+        cache.put(3, 0, row(3.0))
+        assert cache.get(2, 0) is None
+        assert cache.get(1, 0) is not None
+        assert cache.get(3, 0) is not None
+        assert cache.stats["evictions"] == 1
+        assert cache.stats["bytes"] <= cache.capacity_bytes
+
+    def test_oversized_row_is_dropped(self):
+        cache = EmbeddingCache(capacity_bytes=4)
+        cache.put(1, 0, row(1.0))
+        assert len(cache) == 0
+
+    def test_zero_capacity_disables_caching(self):
+        cache = EmbeddingCache(0)
+        cache.put(1, 0, row(1.0))
+        assert cache.get(1, 0) is None
+
+    def test_refresh_does_not_double_count_bytes(self):
+        nbytes = row(0.0).nbytes
+        cache = EmbeddingCache(capacity_bytes=2 * nbytes)
+        cache.put(1, 0, row(1.0))
+        cache.put(1, 1, row(2.0))
+        assert cache.stats["bytes"] == nbytes
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            EmbeddingCache(-1)
+
+
+class TestInvalidation:
+    def test_invalidate_all_drops_everything(self):
+        cache = EmbeddingCache()
+        cache.put(1, 0, row(1.0))
+        cache.put(2, 0, row(2.0))
+        assert cache.invalidate_all("weights_update") == 2
+        assert len(cache) == 0
+        assert cache.stats["invalidations"] == 1

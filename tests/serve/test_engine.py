@@ -1,0 +1,119 @@
+"""ServeEngine: parity, caching, degree keys, and invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gnn.block import chain_is_consistent
+from repro.serve import EmbeddingCache, ServeEngine, merge_block_lists
+
+from .conftest import FANOUTS
+
+
+class TestParity:
+    def test_batched_bitwise_identical_to_unbatched(self, make_engine):
+        nodes = [0, 5, 9, 17, 33]
+        batched, _ = make_engine(cache=EmbeddingCache(0)).predict_batch(
+            nodes
+        )
+        solo_engine = make_engine(cache=EmbeddingCache(0))
+        for i, node in enumerate(nodes):
+            np.testing.assert_array_equal(
+                batched[i], solo_engine.predict_one(node)
+            )
+
+    def test_prediction_independent_of_batch_composition(
+        self, make_engine
+    ):
+        with_friends, _ = make_engine(
+            cache=EmbeddingCache(0)
+        ).predict_batch([7, 1, 2, 3])
+        alone, _ = make_engine(cache=EmbeddingCache(0)).predict_batch(
+            [7, 40, 41]
+        )
+        np.testing.assert_array_equal(with_friends[0], alone[0])
+
+    def test_repeated_nodes_computed_once_same_rows(self, engine):
+        out, stats = engine.predict_batch([3, 3, 5, 3])
+        assert stats.n_computed == 2
+        np.testing.assert_array_equal(out[0], out[1])
+        np.testing.assert_array_equal(out[0], out[3])
+
+    def test_merged_forward_within_float_noise(self, make_engine):
+        nodes = [0, 5, 9, 17, 33]
+        strict, _ = make_engine(cache=EmbeddingCache(0)).predict_batch(
+            nodes
+        )
+        merged, _ = make_engine(
+            cache=EmbeddingCache(0), merged_forward=True
+        ).predict_batch(nodes)
+        np.testing.assert_allclose(merged, strict, atol=1e-5, rtol=0)
+
+
+class TestMergedBlocks:
+    def test_merged_blocks_validate_and_chain(self, engine):
+        sampled = [engine._sample_one(n, 0) for n in [2, 11, 23]]
+        merged = merge_block_lists(
+            [blocks for blocks, _ in sampled],
+            [node_map for _, node_map in sampled],
+        )
+        for block in merged.blocks:
+            block.validate()
+        assert chain_is_consistent(merged.blocks)
+        assert merged.n_requests == 3
+        assert merged.blocks[-1].n_dst == 3
+
+    def test_merge_rejects_mismatched_inputs(self):
+        with pytest.raises(ReproError):
+            merge_block_lists([], [])
+
+
+class TestCacheIntegration:
+    def test_second_batch_hits_cache(self, engine):
+        engine.predict_batch([4, 6])
+        out, stats = engine.predict_batch([4, 6])
+        assert stats.cache_hits == 2
+        assert stats.n_computed == 0
+        assert stats.hit_nodes == frozenset({4, 6})
+        fresh, _ = ServeEngine(
+            engine.model,
+            engine.graph,
+            engine._gather_rows(np.arange(engine.n_nodes)),
+            FANOUTS,
+            cache=EmbeddingCache(0),
+        ).predict_batch([4, 6])
+        np.testing.assert_array_equal(out, fresh)
+
+    def test_weights_update_invalidates(self, engine):
+        engine.predict_batch([4])
+        engine.notify_weights_update()
+        _, stats = engine.predict_batch([4])
+        assert stats.cache_hits == 0
+        assert engine.epoch == 1
+
+    def test_graph_update_reseeds_sampling(self, engine):
+        before = engine._request_rng(7, 0).integers(1 << 30, size=4)
+        after = engine._request_rng(7, 1).integers(1 << 30, size=4)
+        assert not np.array_equal(before, after)
+        engine.notify_graph_update()
+        assert engine.graph_version == 1
+
+
+class TestDegreeKey:
+    def test_cutoff_bucket_caps_the_key(self, engine):
+        degrees = engine.graph.degrees
+        cutoff = engine.fanouts[0]
+        for node in range(min(50, engine.n_nodes)):
+            key = engine.degree_key(node)
+            assert key == min(int(degrees[node]), cutoff)
+            assert key <= cutoff
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self, engine):
+        with pytest.raises(ReproError):
+            engine.predict_batch([])
+
+    def test_bad_fanouts_rejected(self, cora, model):
+        with pytest.raises(ReproError):
+            ServeEngine(model, cora.graph, cora.features, [])

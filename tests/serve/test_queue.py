@@ -1,0 +1,123 @@
+"""RequestQueue admission control and degree-key coalescing."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import (
+    REJECT_INVALID_NODE,
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTDOWN,
+    BatchPolicy,
+    RequestQueue,
+    ServeRejected,
+)
+
+
+class TestAdmission:
+    def test_admits_until_full_then_rejects(self):
+        queue = RequestQueue(2)
+        assert not queue.submit(0).rejected
+        assert not queue.submit(1).rejected
+        overflow = queue.submit(2)
+        assert overflow.rejected
+        assert overflow.reject_reason == REJECT_QUEUE_FULL
+        assert queue.depth() == 2
+
+    def test_invalid_node_rejected_at_the_door(self):
+        queue = RequestQueue(8, n_nodes=10)
+        assert queue.submit(-1).reject_reason == REJECT_INVALID_NODE
+        assert queue.submit(10).reject_reason == REJECT_INVALID_NODE
+        assert not queue.submit(9).rejected
+
+    def test_closed_queue_rejects_with_shutdown(self):
+        queue = RequestQueue(8)
+        queue.close()
+        assert queue.submit(0).reject_reason == REJECT_SHUTDOWN
+
+    def test_rejected_result_raises_with_reason(self):
+        queue = RequestQueue(8, n_nodes=1)
+        pending = queue.submit(5)
+        with pytest.raises(ServeRejected) as excinfo:
+            pending.result(timeout=0.0)
+        assert excinfo.value.reason == REJECT_INVALID_NODE
+
+    def test_request_ids_are_monotone(self):
+        queue = RequestQueue(8)
+        ids = [queue.submit(0).request.request_id for _ in range(3)]
+        assert ids == [0, 1, 2]
+
+    def test_bad_depth(self):
+        with pytest.raises(ReproError):
+            RequestQueue(0)
+
+
+class TestCoalescing:
+    def test_same_key_requests_batch_together(self):
+        queue = RequestQueue(16)
+        for node in [0, 2, 4, 1]:  # key: even vs odd
+            queue.submit(node)
+        policy = BatchPolicy(max_batch=8, max_wait_s=0.0)
+        batch = queue.take_batch(policy, lambda n: n % 2)
+        assert [p.request.node for p in batch] == [0, 2, 4]
+        assert queue.depth() == 1
+
+    def test_full_batch_dispatches_without_waiting(self):
+        queue = RequestQueue(16)
+        for node in range(4):
+            queue.submit(node)
+        policy = BatchPolicy(max_batch=2, max_wait_s=60.0)
+        batch = queue.take_batch(policy, lambda n: 0)
+        assert [p.request.node for p in batch] == [0, 1]
+
+    def test_fifo_head_sets_the_key(self):
+        queue = RequestQueue(16)
+        for node in [1, 0, 3]:
+            queue.submit(node)
+        policy = BatchPolicy(max_batch=8, max_wait_s=0.0)
+        batch = queue.take_batch(policy, lambda n: n % 2)
+        assert [p.request.node for p in batch] == [1, 3]
+
+    def test_take_returns_none_on_closed_drained_queue(self):
+        queue = RequestQueue(4)
+        queue.close()
+        policy = BatchPolicy(max_batch=2, max_wait_s=0.0)
+        assert queue.take_batch(policy, lambda n: 0) is None
+
+    def test_close_returns_residue(self):
+        queue = RequestQueue(4)
+        queue.submit(0)
+        queue.submit(1)
+        residue = queue.close()
+        assert [p.request.node for p in residue] == [0, 1]
+        assert queue.depth() == 0
+
+    def test_close_wakes_a_blocked_taker(self):
+        queue = RequestQueue(4)
+        policy = BatchPolicy(max_batch=2, max_wait_s=60.0)
+        result = []
+
+        def take():
+            result.append(queue.take_batch(policy, lambda n: 0))
+
+        thread = threading.Thread(target=take)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert result == [None]
+
+
+class TestBatchPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_wait_s": -1.0},
+            {"max_queue_depth": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ReproError):
+            BatchPolicy(**kwargs)

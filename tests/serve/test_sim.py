@@ -1,0 +1,169 @@
+"""Load generator and virtual-time simulator determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import (
+    REJECT_QUEUE_FULL,
+    BatchPolicy,
+    EmbeddingCache,
+    LoadSpec,
+    ServiceModel,
+    generate_trace,
+    simulate,
+)
+
+SPEC = LoadSpec(n_requests=80, rate_hz=2000.0, zipf_exponent=1.1, seed=0)
+POLICY = BatchPolicy(
+    max_batch=8, max_wait_s=5e-3, max_queue_depth=1_000_000
+)
+
+
+def run(engine, trace, policy=POLICY):
+    return simulate(trace, engine, policy, emit_metrics=False)
+
+
+class TestLoadGen:
+    def test_same_spec_same_trace(self, cora):
+        a = generate_trace(SPEC, cora.train_nodes)
+        b = generate_trace(SPEC, cora.train_nodes)
+        assert [(r.node, r.arrival_s) for r in a] == [
+            (r.node, r.arrival_s) for r in b
+        ]
+
+    def test_different_seed_different_trace(self, cora):
+        a = generate_trace(SPEC, cora.train_nodes)
+        b = generate_trace(
+            LoadSpec(
+                n_requests=80, rate_hz=2000.0, zipf_exponent=1.1, seed=1
+            ),
+            cora.train_nodes,
+        )
+        assert [r.node for r in a] != [r.node for r in b]
+
+    def test_arrivals_monotone_and_nodes_in_pool(self, cora):
+        trace = generate_trace(SPEC, cora.train_nodes)
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        pool = set(int(n) for n in cora.train_nodes)
+        assert all(r.node in pool for r in trace)
+
+    def test_skew_concentrates_traffic(self, cora):
+        trace = generate_trace(
+            LoadSpec(n_requests=400, zipf_exponent=1.5, seed=0),
+            cora.train_nodes,
+        )
+        _, counts = np.unique(
+            [r.node for r in trace], return_counts=True
+        )
+        # The hottest node absorbs far more than a uniform share.
+        assert counts.max() > 5 * (400 / cora.train_nodes.size)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ReproError):
+            generate_trace(SPEC, np.array([]))
+
+
+class TestDeterminism:
+    def test_same_trace_identical_batch_composition(
+        self, cora, make_engine
+    ):
+        trace = generate_trace(SPEC, cora.train_nodes)
+        a = run(make_engine(), trace)
+        b = run(make_engine(), trace)
+        assert [b_.request_ids for b_ in a.batches] == [
+            b_.request_ids for b_ in b.batches
+        ]
+        assert [b_.key for b_ in a.batches] == [
+            b_.key for b_ in b.batches
+        ]
+        assert [
+            (b_.dispatch_s, b_.start_s, b_.finish_s) for b_ in a.batches
+        ] == [
+            (b_.dispatch_s, b_.start_s, b_.finish_s) for b_ in b.batches
+        ]
+
+    def test_batches_group_one_degree_key(self, cora, make_engine):
+        engine = make_engine()
+        trace = generate_trace(SPEC, cora.train_nodes)
+        report = run(engine, trace)
+        for batch in report.batches:
+            by_id = {r.request_id: r for r in trace}
+            keys = {
+                engine.degree_key(by_id[rid].node)
+                for rid in batch.request_ids
+            }
+            assert keys == {batch.key}
+            assert len(batch.request_ids) <= POLICY.max_batch
+
+    def test_batched_parity_with_unbatched(self, cora, make_engine):
+        trace = generate_trace(SPEC, cora.train_nodes)
+        batched = run(make_engine(), trace)
+        unbatched = run(
+            make_engine(),
+            trace,
+            BatchPolicy(
+                max_batch=1, max_wait_s=0.0, max_queue_depth=1_000_000
+            ),
+        )
+        a = batched.predictions_by_request()
+        b = unbatched.predictions_by_request()
+        assert set(a) == set(b) == {r.request_id for r in trace}
+        for rid in a:
+            np.testing.assert_array_equal(a[rid], b[rid])
+
+
+class TestAdmission:
+    def test_bounded_queue_sheds_load(self, cora, make_engine):
+        trace = generate_trace(SPEC, cora.train_nodes)
+        report = run(
+            make_engine(),
+            trace,
+            BatchPolicy(max_batch=1, max_wait_s=0.0, max_queue_depth=2),
+        )
+        assert report.n_rejected > 0
+        assert all(
+            reason == REJECT_QUEUE_FULL for _, reason in report.rejected
+        )
+        assert report.n_completed + report.n_rejected == len(trace)
+
+    def test_unbounded_queue_completes_everything(
+        self, cora, make_engine
+    ):
+        trace = generate_trace(SPEC, cora.train_nodes)
+        report = run(make_engine(), trace)
+        assert report.n_completed == len(trace)
+        assert not report.rejected
+
+
+class TestReport:
+    def test_latency_accounting(self, cora, make_engine):
+        trace = generate_trace(SPEC, cora.train_nodes)
+        report = run(make_engine(), trace)
+        for response in report.responses:
+            assert response.finish_s >= response.start_s
+            assert response.start_s >= response.arrival_s
+            assert response.latency_s >= 0
+        assert report.throughput_rps > 0
+        assert (
+            report.latency_quantile(0.5)
+            <= report.latency_quantile(0.95)
+            <= report.latency_quantile(0.99)
+        )
+
+    def test_service_model_prices_amortization(self):
+        from repro.serve import BatchStats
+
+        model = ServiceModel()
+        one = model.batch_service_s(
+            BatchStats(1, 1, 0, 100, 20, 0.0)
+        )
+        eight = model.batch_service_s(
+            BatchStats(8, 8, 0, 800, 160, 0.0)
+        )
+        assert eight < 8 * one  # the fixed overhead amortizes
+
+    def test_empty_trace_rejected(self, make_engine):
+        with pytest.raises(ReproError):
+            simulate([], make_engine(), POLICY)

@@ -227,6 +227,48 @@ class TestSchedule:
         assert "group 0" in out
 
 
+class TestServe:
+    SMOKE = [
+        "serve",
+        "--dataset",
+        "cora",
+        "--scale",
+        "0.2",
+        "--requests",
+        "40",
+        "--fanouts",
+        "3,4",
+        "--hidden",
+        "16",
+    ]
+
+    def test_serves_generated_trace(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "m.json"
+        code = main(self.SMOKE + ["--metrics", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 40/40 requests" in out
+        assert "latency p50" in out
+        payload = json.loads(metrics.read_text())
+        assert "buffalo.serve.requests_total" in payload["metrics"]
+        assert "buffalo.serve.batch_occupancy" in payload["metrics"]
+
+    def test_trace_output_validates(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(self.SMOKE + ["--trace", str(trace)]) == 0
+        from repro.obs.schema import validate_trace_file
+
+        assert validate_trace_file(str(trace)) > 0
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(SystemExit):
+            main(self.SMOKE + ["--max-batch", "0"])
+        with pytest.raises(SystemExit):
+            main(self.SMOKE + ["--max-wait-ms", "-1"])
+
+
 class TestObservabilityFlags:
     def test_schedule_writes_trace_and_metrics(self, capsys, tmp_path):
         import json
