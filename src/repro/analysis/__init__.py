@@ -16,17 +16,26 @@ Two halves (ISSUE 4):
 * **Concurrency checks** — a static lock-discipline pass
   (:mod:`repro.analysis.rules.lockcheck`) that builds a lock-acquisition
   graph over the threaded pipeline/store layers and flags unguarded
-  writes to lock-protected attributes, plus the opt-in runtime
+  writes to lock-protected attributes; the whole-program concurrency
+  pass (:mod:`repro.analysis.concurrency`, ``repro lint
+  --concurrency``) that constructs a cross-module call graph,
+  propagates may/must held-lock sets, and reports lock-order cycles,
+  blocking operations under a held lock, thread-escaping unguarded
+  writes, and violated ``# guarded-by:`` / ``@locks_required``
+  contracts (:mod:`repro.analysis.contracts`); plus the opt-in runtime
   :class:`~repro.analysis.race.RaceSentinel` that the threaded tests
   enable to catch unsynchronized cross-thread mutation as it happens.
 
 Entry points: ``repro lint`` (CLI) and :func:`repro.analysis.runner.run_lint`.
 """
 
+from repro.analysis.contracts import assert_holds, locks_required
 from repro.analysis.findings import Finding
 from repro.analysis.framework import (
     FileContext,
     LintRule,
+    ProjectContext,
+    ProjectRule,
     all_rules,
     get_rule,
     register_rule,
@@ -40,11 +49,15 @@ __all__ = [
     "Finding",
     "LintResult",
     "LintRule",
+    "ProjectContext",
+    "ProjectRule",
     "RaceError",
     "RaceSentinel",
     "TrackedLock",
     "all_rules",
+    "assert_holds",
     "get_rule",
+    "locks_required",
     "register_rule",
     "rule_names",
     "run_lint",

@@ -8,6 +8,18 @@ so fixing one of two identical findings in a file retires exactly one
 entry — and a baseline entry whose finding disappeared is reported as
 *stale* so the file shrinks monotonically instead of rotting.
 
+Version 2 closes the stale-suppression hazard: every entry carries the
+*fingerprint* of the rule that produced it — a hash of the rule's name,
+its declared :attr:`~repro.analysis.framework.LintRule.version`, the
+source bytes of the module defining it, and the resolved lint
+configuration (:meth:`~repro.analysis.config.LintConfig.fingerprint`).
+Rewriting a rule, bumping its version, or editing ``[tool.repro.lint]``
+changes the fingerprint, so the affected entries stop matching and
+their findings resurface instead of staying silently suppressed by a
+baseline written against different semantics.  Invalidated entries are
+reported (not errored) so ``--write-baseline`` can refresh them in one
+step.
+
 Policy (enforced by ``tests/analysis/test_baseline_policy.py``): the
 ``no-nondeterminism`` and ``span-leak`` rules may never be baselined —
 Algorithm 2 parity bugs don't get grandfathered.
@@ -15,32 +27,70 @@ Algorithm 2 parity bugs don't get grandfathered.
 
 from __future__ import annotations
 
+import hashlib
+import inspect
 import json
 from collections import Counter
 from pathlib import Path
 
+from repro.analysis.config import LintConfig
 from repro.analysis.findings import Finding
-from repro.analysis.framework import AnalysisError
+from repro.analysis.framework import AnalysisError, LintRule
 
 __all__ = [
     "BASELINE_VERSION",
     "NEVER_BASELINE",
+    "baseline_fingerprints",
     "load_baseline",
     "write_baseline",
     "apply_baseline",
 ]
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 #: Rules whose findings must be fixed or suppressed, never grandfathered.
 NEVER_BASELINE = frozenset({"no-nondeterminism", "span-leak"})
 
 
-def load_baseline(path: str | Path) -> Counter:
-    """Multiset of baseline keys; empty when the file doesn't exist."""
+def _rule_source(rule: LintRule) -> bytes:
+    try:
+        return inspect.getsource(type(rule)).encode()
+    except (OSError, TypeError):  # pragma: no cover - builtins/REPL rules
+        return type(rule).__qualname__.encode()
+
+
+def baseline_fingerprints(
+    rules: list[LintRule], config: LintConfig
+) -> dict[str, str]:
+    """Per-rule fingerprint: rule identity + semantics + configuration."""
+    config_fp = config.fingerprint()
+    out: dict[str, str] = {}
+    for rule in rules:
+        digest = hashlib.sha256()
+        digest.update(rule.name.encode())
+        digest.update(b"\x00")
+        digest.update(str(rule.version).encode())
+        digest.update(b"\x00")
+        digest.update(_rule_source(rule))
+        digest.update(b"\x00")
+        digest.update(config_fp.encode())
+        out[rule.name] = digest.hexdigest()
+    return out
+
+
+def load_baseline(
+    path: str | Path, fingerprints: dict[str, str]
+) -> tuple[Counter, list[tuple[str, str, str]]]:
+    """Load the baseline, dropping entries whose fingerprint drifted.
+
+    Returns ``(multiset of still-valid keys, invalidated keys)``.
+    Entries for rules absent from ``fingerprints`` (not selected this
+    run) are kept — their rules produce no findings, so they cannot
+    hide anything.  The file missing entirely is an empty baseline.
+    """
     path = Path(path)
     if not path.is_file():
-        return Counter()
+        return Counter(), []
     try:
         raw = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
@@ -48,9 +98,11 @@ def load_baseline(path: str | Path) -> Counter:
     if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
         raise AnalysisError(
             f"{path}: unsupported baseline version {raw.get('version')!r} "
-            f"(expected {BASELINE_VERSION})"
+            f"(expected {BASELINE_VERSION}; regenerate with "
+            f"'repro lint --write-baseline')"
         )
     baseline: Counter = Counter()
+    invalidated: list[tuple[str, str, str]] = []
     for entry in raw.get("findings", []):
         key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
         if key[0] in NEVER_BASELINE:
@@ -58,15 +110,25 @@ def load_baseline(path: str | Path) -> Counter:
                 f"{path}: rule {key[0]!r} findings may not be baselined "
                 f"(fix or suppress with an annotated noqa instead)"
             )
-        baseline[key] += int(entry.get("count", 1))
-    return baseline
+        count = int(entry.get("count", 1))
+        expected = fingerprints.get(key[0])
+        if expected is not None and entry.get("fingerprint") != expected:
+            invalidated.extend([key] * count)
+            continue
+        baseline[key] += count
+    return baseline, sorted(invalidated)
 
 
-def write_baseline(path: str | Path, findings: list[Finding]) -> int:
+def write_baseline(
+    path: str | Path,
+    findings: list[Finding],
+    fingerprints: dict[str, str],
+) -> int:
     """Write current findings as the new baseline; returns entry count.
 
     Findings of :data:`NEVER_BASELINE` rules are refused — they must be
-    fixed before a baseline can be written.
+    fixed before a baseline can be written.  Every entry records its
+    rule's current fingerprint.
     """
     blocked = sorted({f.rule for f in findings if f.rule in NEVER_BASELINE})
     if blocked:
@@ -74,11 +136,25 @@ def write_baseline(path: str | Path, findings: list[Finding]) -> int:
             f"cannot baseline findings of rule(s) {', '.join(blocked)}; "
             f"fix them or add annotated '# repro: noqa[...]' suppressions"
         )
+    missing = sorted(
+        {f.rule for f in findings if f.rule not in fingerprints}
+    )
+    if missing:
+        raise AnalysisError(
+            f"no fingerprint for rule(s) {', '.join(missing)}; baselines "
+            f"must be written from a run where those rules were active"
+        )
     counts = Counter(f.baseline_key() for f in findings)
     payload = {
         "version": BASELINE_VERSION,
         "findings": [
-            {"rule": rule, "path": rel, "message": message, "count": count}
+            {
+                "rule": rule,
+                "path": rel,
+                "message": message,
+                "count": count,
+                "fingerprint": fingerprints[rule],
+            }
             for (rule, rel, message), count in sorted(counts.items())
         ],
     }

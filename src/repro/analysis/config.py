@@ -61,6 +61,33 @@ class LintConfig:
     def excluded(self, relpath: str) -> bool:
         return self.in_scope(relpath, self.exclude)
 
+    def fingerprint(self) -> str:
+        """Stable hash of the settings that change what the lint *means*.
+
+        Part of every baseline entry's fingerprint (see
+        :mod:`repro.analysis.baseline`): editing ``[tool.repro.lint]``
+        — paths, excludes, selection, or per-rule scopes — invalidates
+        grandfathered suppressions instead of silently hiding findings
+        the new configuration would surface.  ``root`` and ``notes`` are
+        deliberately excluded (machine-local, not semantic); so are the
+        baseline/cache *filenames*.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for part in (
+            ",".join(self.paths),
+            ",".join(self.exclude),
+            ",".join(self.select),
+            ";".join(
+                f"{rule}={','.join(paths)}"
+                for rule, paths in sorted(self.scopes.items())
+            ),
+        ):
+            digest.update(part.encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
 
 def _as_str_tuple(value, context: str) -> tuple[str, ...]:
     if not isinstance(value, list) or not all(

@@ -37,6 +37,8 @@ __all__ = [
     "AnalysisError",
     "FileContext",
     "LintRule",
+    "ProjectContext",
+    "ProjectRule",
     "all_rules",
     "get_rule",
     "register_rule",
@@ -148,12 +150,42 @@ class LintRule:
     description: str = ""
     invariant: str = ""
     default_scopes: tuple[str, ...] = ("src/repro",)
+    #: Bumped when a rule's semantics change; part of the baseline
+    #: fingerprint, so old suppressions don't survive a rule rewrite.
+    version: int = 1
 
     def check(self, ctx: FileContext) -> list[Finding]:
         raise NotImplementedError
 
     def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
         return ctx.finding(self.name, node, message)
+
+
+@dataclass
+class ProjectContext:
+    """Shared state for whole-program rules: every in-scope file, parsed
+    once, plus a scratch dict rules use to share expensive models (the
+    concurrency pass builds its call graph once for all four rules)."""
+
+    files: list[FileContext]
+    config: LintConfig
+    shared: dict = field(default_factory=dict)
+
+
+class ProjectRule(LintRule):
+    """A rule that needs the whole project, not one file at a time.
+
+    The runner calls :meth:`check_project` once per run with every
+    in-scope file; findings are then scoped, suppressed, and baselined
+    exactly like per-file findings.  ``check`` is a no-op so project
+    rules compose with the per-file loop without special-casing.
+    """
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        return []
+
+    def check_project(self, project: ProjectContext) -> list[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, LintRule] = {}

@@ -6,6 +6,7 @@ See ``docs/analysis.md`` for the catalogue with rationale.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (register on import)
+    concurrency,
     determinism,
     dtypes,
     error_context,

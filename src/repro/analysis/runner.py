@@ -3,9 +3,13 @@
 :func:`run_lint` is the single entry point shared by the CLI and the
 tests.  Per file it runs only the rules whose (possibly configured)
 scope covers the file, applies ``# repro: noqa`` suppressions, and
-consults the content-hash cache; the committed baseline is subtracted
-at the end, so :attr:`LintResult.new_findings` is exactly what the CI
-gate fails on.
+consults the content-hash cache; whole-program rules
+(:class:`~repro.analysis.framework.ProjectRule`) then run once over
+every parsed file, with their own cache entry keyed on the hash of the
+*entire* in-scope file set — any file changing dirties the call graph,
+so cross-file results are never replayed stale.  The committed baseline
+is subtracted at the end, so :attr:`LintResult.new_findings` is exactly
+what the CI gate fails on.
 """
 
 from __future__ import annotations
@@ -14,14 +18,26 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.baseline import apply_baseline, load_baseline
-from repro.analysis.cache import LintCache, file_key
+from repro.analysis.baseline import (
+    apply_baseline,
+    baseline_fingerprints,
+    load_baseline,
+)
+from repro.analysis.cache import (
+    PROJECT_KEY,
+    LintCache,
+    content_hash,
+    file_key,
+    project_key,
+)
 from repro.analysis.config import LintConfig, load_config
 from repro.analysis.findings import Finding
 from repro.analysis.framework import (
     AnalysisError,
     FileContext,
     LintRule,
+    ProjectContext,
+    ProjectRule,
     all_rules,
     get_rule,
 )
@@ -39,10 +55,15 @@ class LintResult:
         new_findings: findings not covered by the baseline — the gate.
         grandfathered: count of findings matched by baseline entries.
         stale_baseline: baseline keys whose finding no longer occurs.
+        invalidated_baseline: baseline keys dropped because their rule's
+            fingerprint (version/source/config) no longer matches.
         suppressed: count of findings silenced by noqa markers.
         files_checked: number of files linted (cache hits included).
         cache_hits: files served from the content-hash cache.
+        project_cache_hit: whole-program pass served from cache.
         rules: names of the rules that ran.
+        fingerprints: per-rule baseline fingerprints of this run (what
+            ``--write-baseline`` stamps into the file).
         notes: non-fatal configuration notes.
         config: the resolved configuration the run used.
     """
@@ -51,10 +72,15 @@ class LintResult:
     new_findings: list[Finding] = field(default_factory=list)
     grandfathered: int = 0
     stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+    invalidated_baseline: list[tuple[str, str, str]] = field(
+        default_factory=list
+    )
     suppressed: int = 0
     files_checked: int = 0
     cache_hits: int = 0
+    project_cache_hit: bool = False
     rules: tuple[str, ...] = ()
+    fingerprints: dict[str, str] = field(default_factory=dict)
     notes: tuple[str, ...] = ()
     config: LintConfig | None = None
 
@@ -85,37 +111,40 @@ def iter_source_files(config: LintConfig) -> list[Path]:
     return out
 
 
-def _lint_one(
-    path: Path,
-    relpath: str,
-    rules: list[LintRule],
-    config: LintConfig,
-) -> tuple[list[Finding], int]:
-    """Lint one file; returns (kept findings, suppressed count)."""
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return (
-            [
-                Finding(
-                    path=relpath,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule="parse-error",
-                    message=f"file does not parse: {exc.msg}",
-                )
-            ],
-            0,
-        )
-    ctx = FileContext(
-        path=path, relpath=relpath, source=source, tree=tree, config=config
+def _relpath_module(relpath: str) -> str:
+    parts = relpath[:-3].split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _import_deps(
+    ctx: FileContext, modules: dict[str, str], own_relpath: str
+) -> dict[str, str]:
+    """Project files this file imports, as ``{relpath: placeholder}``
+    (hashes filled by the caller)."""
+    deps: set[str] = set()
+    for target in ctx.imports.aliases.values():
+        parts = target.split(".")
+        for cut in range(len(parts), 0, -1):
+            relpath = modules.get(".".join(parts[:cut]))
+            if relpath is not None:
+                if relpath != own_relpath:
+                    deps.add(relpath)
+                break
+    return {d: "" for d in sorted(deps)}
+
+
+def _parse_error_finding(relpath: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=relpath,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        rule="parse-error",
+        message=f"file does not parse: {exc.msg}",
     )
-    raw: list[Finding] = []
-    for rule in rules:
-        raw.extend(rule.check(ctx))
-    kept = [f for f in raw if not ctx.suppressions.suppresses(f)]
-    return sorted(kept), len(raw) - len(kept)
 
 
 def run_lint(
@@ -151,6 +180,8 @@ def run_lint(
         [get_rule(name) for name in selected] if selected else all_rules()
     )
     active.sort(key=lambda r: r.name)
+    file_rules = [r for r in active if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
 
     result = LintResult(
         rules=tuple(r.name for r in active),
@@ -158,14 +189,44 @@ def run_lint(
         config=config,
     )
     cache = LintCache(config.root / config.cache, enabled=use_cache)
-    live: set[str] = set()
 
+    # Pass 0: read every in-scope file once; content hashes feed both the
+    # per-file dependency checks and the whole-program cache key.
+    entries: list[tuple[Path, str, bytes]] = []
+    hashes: dict[str, str] = {}
     for path in iter_source_files(config):
         relpath = path.relative_to(config.root).as_posix()
-        live.add(relpath)
+        data = path.read_bytes()
+        entries.append((path, relpath, data))
+        hashes[relpath] = content_hash(data)
+    modules = {_relpath_module(rel): rel for _, rel, _ in entries}
+    live = set(hashes)
+
+    contexts: dict[str, FileContext | None] = {}
+    parse_errors: dict[str, Finding] = {}
+
+    def get_context(path: Path, relpath: str, data: bytes) -> FileContext | None:
+        if relpath in contexts:
+            return contexts[relpath]
+        source = data.decode("utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            contexts[relpath] = None
+            parse_errors[relpath] = _parse_error_finding(relpath, exc)
+            return None
+        ctx = FileContext(
+            path=path, relpath=relpath, source=source, tree=tree,
+            config=config,
+        )
+        contexts[relpath] = ctx
+        return ctx
+
+    # Per-file stage.
+    for path, relpath, data in entries:
         applicable = [
             r
-            for r in active
+            for r in file_rules
             if config.in_scope(
                 relpath, config.scope_for(r.name, r.default_scopes)
             )
@@ -173,25 +234,75 @@ def run_lint(
         result.files_checked += 1
         if not applicable:
             continue
-        key = file_key(
-            path.read_bytes(), tuple(r.name for r in applicable)
-        )
-        cached = cache.get(relpath, key)
+        key = file_key(data, tuple(r.name for r in applicable))
+        cached = cache.get(relpath, key, hashes)
         if cached is not None:
             result.cache_hits += 1
             result.findings.extend(cached)
             continue
-        findings, suppressed = _lint_one(path, relpath, applicable, config)
-        result.suppressed += suppressed
-        cache.put(relpath, key, findings)
-        result.findings.extend(findings)
+        ctx = get_context(path, relpath, data)
+        if ctx is None:
+            findings = [parse_errors[relpath]]
+            cache.put(relpath, key, findings)
+            result.findings.extend(findings)
+            continue
+        raw: list[Finding] = []
+        for rule in applicable:
+            raw.extend(rule.check(ctx))
+        kept = sorted(
+            f for f in raw if not ctx.suppressions.suppresses(f)
+        )
+        result.suppressed += len(raw) - len(kept)
+        deps = _import_deps(ctx, modules, relpath)
+        for dep in deps:
+            deps[dep] = hashes[dep]
+        cache.put(relpath, key, kept, deps)
+        result.findings.extend(kept)
+
+    # Whole-program stage: one model over every parseable in-scope file,
+    # cached as a unit — any file change dirties the call graph.
+    if project_rules:
+        pkey = project_key(hashes, tuple(r.name for r in project_rules))
+        cached = cache.get(PROJECT_KEY, pkey)
+        if cached is not None:
+            result.project_cache_hit = True
+            result.findings.extend(cached)
+        else:
+            files = [
+                ctx
+                for path, relpath, data in entries
+                if (ctx := get_context(path, relpath, data)) is not None
+            ]
+            project = ProjectContext(files=files, config=config)
+            raw = []
+            for rule in project_rules:
+                scope = config.scope_for(rule.name, rule.default_scopes)
+                raw.extend(
+                    f
+                    for f in rule.check_project(project)
+                    if config.in_scope(f.path, scope)
+                )
+            kept = []
+            for f in raw:
+                ctx = contexts.get(f.path)
+                if ctx is not None and ctx.suppressions.suppresses(f):
+                    result.suppressed += 1
+                else:
+                    kept.append(f)
+            kept.sort()
+            cache.put(PROJECT_KEY, pkey, kept)
+            result.findings.extend(kept)
 
     cache.prune(live)
     cache.save()
     result.findings.sort()
 
+    result.fingerprints = baseline_fingerprints(active, config)
     if use_baseline:
-        baseline = load_baseline(config.root / config.baseline)
+        baseline, invalidated = load_baseline(
+            config.root / config.baseline, result.fingerprints
+        )
+        result.invalidated_baseline = invalidated
         result.new_findings, result.grandfathered, result.stale_baseline = (
             apply_baseline(result.findings, baseline)
         )

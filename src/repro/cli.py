@@ -451,7 +451,7 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--format",
         default="text",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         dest="output_format",
         help="report format",
     )
@@ -460,6 +460,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="A,B",
         help="comma list of rule names to run (default: all)",
+    )
+    lint.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run only the whole-program concurrency rules "
+        "(lock-order, blocking-under-lock, thread-escape, "
+        "lock-contract, lock-discipline)",
+    )
+    lint.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        dest="sarif_path",
+        help="additionally write a SARIF 2.1.0 report to PATH",
     )
     lint.add_argument(
         "--baseline",
@@ -1211,7 +1225,12 @@ def _cmd_lint(args) -> int:
     from repro.analysis import all_rules, rule_names
     from repro.analysis.baseline import write_baseline
     from repro.analysis.framework import AnalysisError
-    from repro.analysis.reporters import render_json, render_text
+    from repro.analysis.reporters import (
+        render_json,
+        render_sarif,
+        render_text,
+    )
+    from repro.analysis.rules.concurrency import CONCURRENCY_RULES
     from repro.analysis.runner import run_lint
 
     if args.list_rules:
@@ -1229,6 +1248,12 @@ def _cmd_lint(args) -> int:
                 f"unknown rule(s): {', '.join(unknown)}; "
                 f"available: {', '.join(rule_names())}"
             )
+    if args.concurrency:
+        concurrency = list(CONCURRENCY_RULES) + ["lock-discipline"]
+        if rules is None:
+            rules = concurrency
+        else:
+            rules = [r for r in rules if r in concurrency] or concurrency
     try:
         result = run_lint(
             args.root,
@@ -1247,13 +1272,23 @@ def _cmd_lint(args) -> int:
             args.baseline or result.config.baseline
         )
         try:
-            count = write_baseline(baseline_path, result.findings)
+            count = write_baseline(
+                baseline_path, result.findings, result.fingerprints
+            )
         except AnalysisError as exc:
             raise SystemExit(f"error: {exc}")
         print(f"wrote {count} finding(s) to {baseline_path}")
         return 0
+    if args.sarif_path:
+        from pathlib import Path
+
+        sarif_path = Path(args.sarif_path)
+        sarif_path.write_text(render_sarif(result), encoding="utf-8")
+        print(f"SARIF report written to {sarif_path}")
     if args.output_format == "json":
         print(render_json(result))
+    elif args.output_format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
     return 0 if result.ok else 1

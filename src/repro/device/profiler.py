@@ -52,7 +52,7 @@ class PhaseRecord:
 class Profiler:
     """Accumulates per-phase wall and simulated time."""
 
-    phases: dict[str, PhaseRecord] = field(default_factory=dict)
+    phases: dict[str, PhaseRecord] = field(default_factory=dict)  # guarded-by: GIL-atomic (dict.setdefault; sorting/merge run on the coordinating thread)
 
     def _record(self, name: str) -> PhaseRecord:
         return self.phases.setdefault(name, PhaseRecord())

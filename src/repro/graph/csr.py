@@ -44,7 +44,9 @@ class CSRGraph:
     ) -> None:
         self.indptr = np.ascontiguousarray(indptr, dtype=INDEX_DTYPE)
         self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
-        self._degrees: np.ndarray | None = None
+        # Lazy degree memo: np.diff over immutable indptr, so a
+        # concurrent double-compute writes identical values.
+        self._degrees: np.ndarray | None = None  # guarded-by: idempotent-memo (recompute yields identical array)
         if validate:
             self._validate()
 

@@ -141,8 +141,11 @@ class PipelineEngine:
     def __init__(
         self, trainer: MicroBatchTrainer, config: PipelineConfig | None = None
     ) -> None:
-        self.trainer = trainer
-        self.config = config or PipelineConfig()
+        # The staging workers never touch the trainer or config: all
+        # cross-thread traffic flows through the bounded queues in
+        # _staged_threaded, so the engine itself needs no lock.
+        self.trainer = trainer  # guarded-by: consumer-thread (compute stage only)
+        self.config = config or PipelineConfig()  # guarded-by: construction-only (read-only knobs)
 
     # ------------------------------------------------------------------
     def run(

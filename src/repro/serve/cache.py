@@ -47,12 +47,12 @@ class EmbeddingCache:
         self._lock = threading.Lock()
         self._entries: OrderedDict[int, tuple[int, np.ndarray]] = (
             OrderedDict()
-        )
-        self._bytes = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
+        )  # guarded-by: _lock
+        self._bytes = 0  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
         metrics = get_metrics()
         self._m_hits = metrics.counter(
             "buffalo.serve.embed_cache_hits", help="embedding cache hits"

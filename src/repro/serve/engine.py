@@ -122,9 +122,9 @@ class ServeEngine:
             features = np.asarray(features, dtype=FLOAT_DTYPE)
             self._gather_rows = lambda ids: features[ids]
         self._lock = threading.Lock()
-        self._graph_version = 0
-        self._weights_version = 0
-        self._next_batch_id = 0
+        self._graph_version = 0  # guarded-by: _lock
+        self._weights_version = 0  # guarded-by: _lock
+        self._next_batch_id = 0  # guarded-by: _lock
         metrics = get_metrics()
         self._m_batches = metrics.counter(
             "buffalo.serve.batches_total", help="executed serving batches"

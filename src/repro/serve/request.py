@@ -89,8 +89,10 @@ class PendingRequest:
     def __init__(self, request: ServeRequest) -> None:
         self.request = request
         self._done = threading.Event()
-        self._response: ServeResponse | None = None
-        self._reject_reason: str | None = None
+        # Written by exactly one worker before _done.set(); the Event
+        # is the publication barrier the caller waits behind.
+        self._response: ServeResponse | None = None  # guarded-by: event hand-off (_done barrier)
+        self._reject_reason: str | None = None  # guarded-by: event hand-off (_done barrier)
 
     @property
     def rejected(self) -> bool:
@@ -178,9 +180,9 @@ class RequestQueue:
         self.n_nodes = n_nodes
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        self._items: list[PendingRequest] = []
-        self._next_id = 0
-        self._closed = False
+        self._items: list[PendingRequest] = []  # guarded-by: _lock
+        self._next_id = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         metrics = get_metrics()
         self._m_requests = metrics.counter(
             "buffalo.serve.requests_total", help="requests submitted"

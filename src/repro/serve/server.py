@@ -53,9 +53,9 @@ class ServeServer:
             policy.max_queue_depth, n_nodes=engine.n_nodes
         )
         self._lock = threading.Lock()
-        self._worker: threading.Thread | None = None
-        self._served = 0
-        self._batches = 0
+        self._worker: threading.Thread | None = None  # guarded-by: _lock
+        self._served = 0  # guarded-by: _lock
+        self._batches = 0  # guarded-by: _lock
         self._m_latency = get_metrics().histogram(
             "buffalo.serve.request_latency_s",
             buckets=LATENCY_SECONDS_BUCKETS,

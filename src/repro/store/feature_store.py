@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.contracts import locks_required
 from repro.config import INDEX_DTYPE
 from repro.errors import DatasetError
 from repro.obs.metrics import BYTE_BUCKETS, SECONDS_BUCKETS, get_metrics
@@ -93,20 +94,23 @@ class FeatureStore:
         self.host_budget_bytes = (
             int(host_budget_bytes) if host_budget_bytes else None
         )
-        self._shards: dict[int, np.ndarray] = {}
+        self._shards: dict[int, np.ndarray] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         # Staged entries, FIFO: (key, sorted_ids, rows) — `rows` aligned
         # with `sorted_ids`.  Bounded by the prefetcher's depth.
-        self._staged: list[tuple[int, np.ndarray, np.ndarray]] = []
-        self._staged_bytes = 0
-        self.on_staged_consumed = None  # prefetcher back-pressure hook
+        self._staged: list[tuple[int, np.ndarray, np.ndarray]] = []  # guarded-by: _lock
+        self._staged_bytes = 0  # guarded-by: _lock
+        # Prefetcher back-pressure hook; installed/cleared through
+        # set_staged_consumed_hook() so writes never race the staged
+        # drain reading it under the lock.
+        self.on_staged_consumed = None  # guarded-by: _lock
         # Statistics.
-        self.gathers = 0
-        self.hot_hits = 0
-        self.staged_rows = 0
-        self.disk_rows = 0
-        self.bytes_read = 0
-        self._peak_resident = 0
+        self.gathers = 0  # guarded-by: _lock
+        self.hot_hits = 0  # guarded-by: _lock
+        self.staged_rows = 0  # guarded-by: _lock
+        self.disk_rows = 0  # guarded-by: _lock
+        self.bytes_read = 0  # guarded-by: _lock
+        self._peak_resident = 0  # guarded-by: _lock
         self._build_hot_cache(
             DEFAULT_HOT_CACHE_BYTES
             if hot_cache_bytes is None
@@ -125,7 +129,7 @@ class FeatureStore:
             headroom = self.host_budget_bytes - slot_bytes
             hot_cache_bytes = max(min(hot_cache_bytes, headroom), 0)
         n_hot = min(hot_cache_bytes // max(self.row_bytes, 1), n_nodes)
-        self._hot_slot = np.full(n_nodes, -1, dtype=np.int32)
+        self._hot_slot = np.full(n_nodes, -1, dtype=np.int32)  # guarded-by: construction-only (read-only once published)
         if n_hot <= 0:
             self._hot_rows = np.empty((0, dim), dtype=self.dtype)
             self._note_resident(0)
@@ -167,6 +171,7 @@ class FeatureStore:
         """High-water mark of resident + in-flight gather bytes."""
         return self._peak_resident
 
+    @locks_required("_lock")
     def _note_resident(self, transient_bytes: int) -> None:
         total = self.resident_bytes + int(transient_bytes)
         if total > self._peak_resident:
@@ -335,6 +340,28 @@ class FeatureStore:
         with self._lock:
             self._staged.clear()
             self._staged_bytes = 0
+
+    def set_staged_consumed_hook(self, callback) -> None:
+        """Install the consumption hook the staged drain fires.
+
+        ``_serve_staged`` reads the hook under the lock from whichever
+        thread drains a staged entry (the pipeline's staging worker, in
+        threaded mode), so installation must synchronize with it —
+        assigning the attribute directly from the prefetcher races the
+        drain.
+        """
+        with self._lock:
+            self.on_staged_consumed = callback
+
+    def clear_staged_consumed_hook(self, callback) -> None:
+        """Remove ``callback`` if it is the installed hook.
+
+        Compare-and-clear under the lock: a prefetcher tearing down must
+        not remove a hook a newer prefetcher installed in the meantime.
+        """
+        with self._lock:
+            if self.on_staged_consumed == callback:
+                self.on_staged_consumed = None
 
     def reset_stats(self) -> None:
         """Zero the gather counters (benchmark warm-up boundary)."""

@@ -50,11 +50,13 @@ class SchedulePrefetcher:
         self.store = store
         self.depth = depth
         self.threaded = threaded
-        self._sets: list[np.ndarray] = []
-        self._next = 0
+        # Armed on begin_iteration(), before the worker starts; the
+        # worker only reads them and is joined before the next rearm.
+        self._sets: list[np.ndarray] = []  # guarded-by: caller-thread (worker joined before rearm)
+        self._next = 0  # guarded-by: consumer-thread (single gather driver advances it)
         self._slots: threading.BoundedSemaphore | None = None
         self._stop = threading.Event()
-        self._worker: threading.Thread | None = None
+        self._worker: threading.Thread | None = None  # guarded-by: caller-thread (begin/end_iteration only)
 
     # ------------------------------------------------------------------
     def begin_iteration(self, input_sets: list[np.ndarray]) -> None:
@@ -63,7 +65,7 @@ class SchedulePrefetcher:
         self._sets = list(input_sets)
         self._next = 0
         self._stop = threading.Event()
-        self.store.on_staged_consumed = self._on_consumed
+        self.store.set_staged_consumed_hook(self._on_consumed)
         get_metrics().counter(
             "buffalo.store.prefetch_iterations",
             help="iterations driven by the schedule-aware prefetcher",
@@ -92,8 +94,7 @@ class SchedulePrefetcher:
         if self._worker is not None:
             self._worker.join(timeout=5.0)
             self._worker = None
-        if self.store.on_staged_consumed == self._on_consumed:
-            self.store.on_staged_consumed = None
+        self.store.clear_staged_consumed_hook(self._on_consumed)
         self.store.drop_staged()
         self._sets = []
         self._slots = None

@@ -82,7 +82,7 @@ class Tensor:
         if np.issubdtype(arr.dtype, np.floating) and arr.dtype != FLOAT_DTYPE:
             arr = arr.astype(FLOAT_DTYPE)
         self.data = arr
-        self.grad: np.ndarray | None = None
+        self.grad: np.ndarray | None = None  # guarded-by: owner-thread (autograd graphs are never shared across threads)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.device = device
         self._parents = _parents if self.requires_grad else ()

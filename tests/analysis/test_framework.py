@@ -55,14 +55,18 @@ class TestSuppressions:
 class TestRegistry:
     def test_expected_rules_are_registered(self):
         assert set(rule_names()) == {
+            "blocking-under-lock",
             "dtype-promotion",
             "error-context",
             "hot-alloc",
+            "lock-contract",
             "lock-discipline",
+            "lock-order",
             "memmap-copy",
             "metric-name",
             "no-nondeterminism",
             "span-leak",
+            "thread-escape",
         }
 
     def test_rules_carry_metadata(self):

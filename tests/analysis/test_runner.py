@@ -60,6 +60,61 @@ class TestCache:
         assert result.cache_hits == 0
         assert result.findings == []
 
+    def test_import_dep_change_invalidates_importer(self, project):
+        project.write("src/repro/core/helper.py", "THRESHOLD = 1\n")
+        project.write(
+            "src/repro/core/mod.py",
+            "from repro.core.helper import THRESHOLD\nX = THRESHOLD\n",
+        )
+        kwargs = dict(use_baseline=False, use_cache=True)
+        run_lint(project.root, config=LintConfig(root=project.root), **kwargs)
+        warm = run_lint(
+            project.root, config=LintConfig(root=project.root), **kwargs
+        )
+        assert warm.cache_hits == 2
+        # Edit the imported module only: the importer's own bytes are
+        # unchanged, but its cached result must be invalidated too.
+        project.write("src/repro/core/helper.py", "THRESHOLD = 2\n")
+        third = run_lint(
+            project.root, config=LintConfig(root=project.root), **kwargs
+        )
+        assert third.cache_hits == 0
+
+    def test_unrelated_change_keeps_importer_cached(self, project):
+        project.write("src/repro/core/helper.py", "THRESHOLD = 1\n")
+        project.write(
+            "src/repro/core/mod.py",
+            "from repro.core.helper import THRESHOLD\nX = THRESHOLD\n",
+        )
+        project.write("src/repro/core/other.py", "Y = 1\n")
+        kwargs = dict(use_baseline=False, use_cache=True)
+        run_lint(project.root, config=LintConfig(root=project.root), **kwargs)
+        project.write("src/repro/core/other.py", "Y = 2\n")
+        result = run_lint(
+            project.root, config=LintConfig(root=project.root), **kwargs
+        )
+        assert result.cache_hits == 2  # helper + mod, not other
+
+    def test_project_pass_reruns_when_any_file_changes(self, project):
+        project.write("src/repro/core/mod.py", CLEAN)
+        project.write("src/repro/core/other.py", "Y = 1\n")
+        kwargs = dict(use_baseline=False, use_cache=True)
+        first = run_lint(
+            project.root, config=LintConfig(root=project.root), **kwargs
+        )
+        assert first.project_cache_hit is False
+        warm = run_lint(
+            project.root, config=LintConfig(root=project.root), **kwargs
+        )
+        assert warm.project_cache_hit is True
+        # The whole-program pass keys on every in-scope file: touching
+        # any one of them dirties the call graph.
+        project.write("src/repro/core/other.py", "Y = 2\n")
+        third = run_lint(
+            project.root, config=LintConfig(root=project.root), **kwargs
+        )
+        assert third.project_cache_hit is False
+
     def test_corrupt_cache_is_discarded(self, project):
         project.write("src/repro/core/mod.py", CLEAN)
         (project.root / ".repro-lint-cache.json").write_text(
@@ -81,7 +136,11 @@ class TestBaseline:
         first = run_lint(
             project.root, config=config, use_baseline=False, use_cache=False
         )
-        write_baseline(project.root / config.baseline, first.findings)
+        write_baseline(
+            project.root / config.baseline,
+            first.findings,
+            first.fingerprints,
+        )
         second = run_lint(
             project.root,
             config=LintConfig(root=project.root),
@@ -99,7 +158,11 @@ class TestBaseline:
         first = run_lint(
             project.root, config=config, use_baseline=False, use_cache=False
         )
-        write_baseline(project.root / config.baseline, first.findings)
+        write_baseline(
+            project.root / config.baseline,
+            first.findings,
+            first.fingerprints,
+        )
         path.write_text(CLEAN, encoding="utf-8")
         second = run_lint(
             project.root,
@@ -122,24 +185,27 @@ class TestBaseline:
         result = project.lint(rules=["span-leak"])
         assert result.findings
         with pytest.raises(AnalysisError, match="span-leak"):
-            write_baseline(project.root / "b.json", result.findings)
+            write_baseline(
+                project.root / "b.json", result.findings, result.fingerprints
+            )
 
     def test_never_baseline_rules_are_refused_on_load(self, project):
         bad = {
-            "version": 1,
+            "version": 2,
             "findings": [
                 {
                     "rule": "no-nondeterminism",
                     "path": "x.py",
                     "message": "m",
                     "count": 1,
+                    "fingerprint": "abc",
                 }
             ],
         }
         path = project.root / "b.json"
         path.write_text(json.dumps(bad), encoding="utf-8")
         with pytest.raises(AnalysisError, match="no-nondeterminism"):
-            load_baseline(path)
+            load_baseline(path, {})
 
     def test_shipped_baseline_is_empty_for_critical_rules(self):
         # The acceptance bar: the committed baseline grandfathers
@@ -147,7 +213,7 @@ class TestBaseline:
         from pathlib import Path
 
         repo_root = Path(__file__).resolve().parents[2]
-        baseline = load_baseline(repo_root / "lint-baseline.json")
+        baseline, _ = load_baseline(repo_root / "lint-baseline.json", {})
         assert not any(key[0] in NEVER_BASELINE for key in baseline)
 
 
