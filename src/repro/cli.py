@@ -152,6 +152,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "the CSR block directly (see docs/kernels.md)",
     )
     train.add_argument(
+        "--kernel-threads",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for the fused backend's column-block "
+        "sharded CSR execution (1 = serial; results are bit-for-bit "
+        "identical at any count)",
+    )
+    train.add_argument(
+        "--calibration",
+        default=None,
+        metavar="PATH",
+        help="kernel dispatch calibration file for --kernel-backend "
+        "fused (written by `repro bench kernels --tune`; default: "
+        "$REPRO_KERNEL_CALIBRATION or the per-host cache file)",
+    )
+    train.add_argument(
         "--hot-cache-mb",
         type=float,
         default=None,
@@ -250,6 +267,21 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=8.0,
         help="embedding-cache byte budget in MiB (0 disables)",
+    )
+    serve.add_argument(
+        "--kernel-backend",
+        default="reference",
+        choices=["reference", "fused"],
+        help="bucketed-aggregation kernels for the serving forwards "
+        "(see docs/kernels.md)",
+    )
+    serve.add_argument(
+        "--kernel-threads",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for the fused backend's sharded CSR "
+        "execution (1 = serial; bit-for-bit at any count)",
     )
     serve.add_argument("--seed", type=int, default=0)
     _add_obs_flags(serve)
@@ -365,7 +397,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="exit 1 when fused is >10%% slower than reference on "
-        "sum/mean (best-of---repeats; the CI perf-smoke gate)",
+        "sum/mean (best-of---repeats; the CI perf-smoke gate), when "
+        "tuned dispatch is >5%% slower than default on any row, or "
+        "when threaded modeled speedup is below 1.3x",
+    )
+    bench_kernels.add_argument(
+        "--tune",
+        action="store_true",
+        help="run the dense-vs-CSR autotuner first, write the "
+        "calibration file (--calibration or the per-host default), and "
+        "add the tuned-vs-default comparison rows",
+    )
+    bench_kernels.add_argument(
+        "--calibration",
+        default=None,
+        metavar="PATH",
+        help="calibration file to write (with --tune) or load (without); "
+        "default: $REPRO_KERNEL_CALIBRATION or "
+        "~/.cache/repro/kernel_calibration.json",
+    )
+    bench_kernels.add_argument(
+        "--threads",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run the threaded-vs-serial comparison at N worker "
+        "threads (bit-for-bit check + modeled speedup; 0 = skip)",
     )
     bench_kernels.add_argument(
         "--ledger",
@@ -698,6 +755,7 @@ def _train_ledger_record(args, trainer, recorder, fanouts):
         "pipeline_mode": args.pipeline_mode,
         "reuse_features": args.reuse_features,
         "kernel_backend": args.kernel_backend,
+        "kernel_threads": args.kernel_threads,
     }
     peaks: dict[str, float] = {
         "device": float(recorder.device_peak_bytes)
@@ -756,6 +814,7 @@ def _cmd_train(args) -> int:
     _require_positive(args.hot_cache_mb, "--hot-cache-mb")
     _require_positive(args.host_budget_mb, "--host-budget-mb")
     _require_positive(args.devices, "--devices")
+    _require_positive(args.kernel_threads, "--kernel-threads")
     if args.devices > 1:
         # The parallel trainers run the plain Algorithm 2 path; the
         # single-device execution features below are not wired through
@@ -767,6 +826,8 @@ def _cmd_train(args) -> int:
             ("--pipeline-depth > 1", args.pipeline_depth > 1),
             ("--pipeline-mode other than auto", args.pipeline_mode != "auto"),
             ("--kernel-backend fused", args.kernel_backend == "fused"),
+            ("--kernel-threads > 1", args.kernel_threads > 1),
+            ("--calibration", args.calibration is not None),
             ("--ledger", args.ledger is not None),
         ]
         if args.parallel != "split":
@@ -847,6 +908,8 @@ def _cmd_train(args) -> int:
             reuse_features=args.reuse_features,
             feature_cache_bytes=args.feature_cache_bytes,
             kernel_backend=args.kernel_backend,
+            kernel_threads=args.kernel_threads,
+            kernel_calibration=args.calibration,
         )
     val_nodes = None
     if args.do_eval:
@@ -1032,6 +1095,7 @@ def _cmd_serve(args) -> int:
     _require_positive(args.rate_hz, "--rate-hz")
     _require_positive(args.max_batch, "--max-batch")
     _require_positive(args.queue_depth, "--queue-depth")
+    _require_positive(args.kernel_threads, "--kernel-threads")
     if args.max_wait_ms < 0:
         raise SystemExit(
             f"--max-wait-ms must be >= 0, got {args.max_wait_ms}"
@@ -1069,6 +1133,8 @@ def _cmd_serve(args) -> int:
             fanouts,
             sampler_seed=args.seed,
             cache=EmbeddingCache(int(args.cache_mb * 2**20)),
+            kernel_backend=args.kernel_backend,
+            kernel_threads=args.kernel_threads,
         )
         server = ServeServer(engine, policy).start()
         pendings = [server.submit(req.node) for req in trace]
@@ -1353,6 +1419,8 @@ def _cmd_bench(args) -> int:
     from repro.bench.kernels import (
         ledger_record_from_kernel_result,
         run_kernel_bench,
+        run_threaded_comparison,
+        run_tuned_comparison,
         write_bench_json,
     )
     from repro.obs.observatory.ledger import (
@@ -1368,6 +1436,8 @@ def _cmd_bench(args) -> int:
     _require_positive(args.degree, "--degree")
     _require_positive(args.feat, "--feat")
     _require_positive(args.repeats, "--repeats")
+    if args.threads < 0:
+        raise SystemExit("error: --threads must be >= 0")
     result = run_kernel_bench(
         n_rows=args.rows,
         degree=args.degree,
@@ -1375,6 +1445,13 @@ def _cmd_bench(args) -> int:
         repeats=args.repeats,
         seed=args.seed,
     )
+    calibration = _bench_calibration(args)
+    if calibration is not None:
+        run_tuned_comparison(result, calibration, repeats=args.repeats)
+    if args.threads:
+        run_threaded_comparison(
+            result, n_threads=args.threads, repeats=args.repeats
+        )
     path = write_bench_json(result, args.out)
     for op, per_op in result["ops"].items():
         print(
@@ -1382,6 +1459,29 @@ def _cmd_bench(args) -> int:
             f"  fused {per_op['fused']['wall_s'] * 1e3:.2f} ms"
             f"  speedup {per_op['speedup']:.2f}x"
             f"  scratch ratio {per_op['scratch_ratio']:.2f}"
+        )
+    for bucket_name, bucket in result["buckets"].items():
+        for op, per_op in bucket["ops"].items():
+            print(
+                f"{bucket_name}.{op}: speedup {per_op['speedup']:.2f}x"
+                f"  scratch ratio {per_op['scratch_ratio']:.2f}"
+            )
+    if "tuned" in result:
+        for row, cells in result["tuned"]["rows"].items():
+            print(
+                f"tuned.{row}: "
+                f"{cells['tuned_vs_default_speedup']:.2f}x vs default "
+                f"(default {cells['default_wall_s'] * 1e3:.2f} ms, "
+                f"tuned {cells['tuned_wall_s'] * 1e3:.2f} ms)"
+            )
+    if "threaded" in result:
+        t = result["threaded"]
+        print(
+            f"threaded@{t['n_threads']}: bitwise "
+            f"{'OK' if t['bitwise_equal'] else 'MISMATCH'}"
+            f"  measured {t['measured_speedup']:.2f}x"
+            f"  modeled {t['modeled_speedup']:.2f}x"
+            f"  (parallel fraction {t['parallel_fraction']:.2f})"
         )
     print(f"results written to {path}")
     # The kernels gate runs on the ledger path: the result becomes a
@@ -1415,8 +1515,38 @@ def _cmd_bench(args) -> int:
             for failure in failures:
                 print(f"PERF REGRESSION: {failure}", file=sys.stderr)
             return 1
-        print("perf gate passed (fused within floor on sum/mean)")
+        print("perf gate passed (all ledger floors met)")
     return 0
+
+
+def _bench_calibration(args):
+    """Resolve the bench's calibration: tune-and-save, load, or None."""
+    if not args.tune and args.calibration is None:
+        return None
+    from pathlib import Path
+
+    from repro.kernels import (
+        CalibrationError,
+        default_calibration_path,
+        load_calibration,
+        save_calibration,
+        tune_calibration,
+    )
+
+    path = (
+        Path(args.calibration)
+        if args.calibration is not None
+        else default_calibration_path()
+    )
+    if args.tune:
+        calibration = tune_calibration(repeats=max(args.repeats, 2))
+        save_calibration(calibration, path)
+        print(f"calibration written to {path}")
+        return calibration
+    try:
+        return load_calibration(path)
+    except CalibrationError as exc:
+        raise SystemExit(f"error: cannot load --calibration: {exc}")
 
 
 def _fmt_delta(delta) -> str:

@@ -1,0 +1,137 @@
+"""Persistent worker pool for column-block kernel execution.
+
+The fused backend's CSR operator matmuls (forward ``A @ X``, backward
+``A^T @ grad``) and the attention alpha-dot loop all share one shape of
+parallelism: the output's columns are independent, so splitting them
+into contiguous blocks gives each worker a **disjoint output slice** —
+no reduction race, no atomics, and (because every output element is
+computed by exactly one worker running the identical serial inner loop)
+results that are bit-for-bit equal to serial execution regardless of
+thread count or scheduling order.
+
+The pool is persistent (a :class:`~concurrent.futures.
+ThreadPoolExecutor` created lazily and reused across micro-batches and
+epochs — thread spawn is far too slow per bucket) and deliberately
+dumb: callers decide *whether* to parallelize (the calibrated
+``thread_min_work`` gate in :class:`~repro.kernels.fused.FusedBackend`)
+and the pool only splits ``[0, n_items)`` evenly and waits.
+
+Thread discipline (checked by the concurrency lint pass and the
+RaceSentinel differential suite):
+
+* pool lifecycle state (``_executor``) is guarded by ``_lock``;
+* :meth:`run_blocks` is called from the compute thread only — the same
+  single-compute-thread invariant the workspace arena relies on;
+* worker tasks receive ``(worker_idx, lo, hi)`` and may touch only
+  their own per-worker sub-arena
+  (``workspace.for_worker(worker_idx)``) plus the disjoint
+  ``[:, lo:hi]`` slice of shared output arrays;
+* shared *inputs* (the CSR operator, the source features) are
+  read-only for the duration of the dispatch.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = ["KernelThreadPool", "block_bounds"]
+
+
+def block_bounds(n_items: int, n_blocks: int) -> list[tuple[int, int]]:
+    """Split ``[0, n_items)`` into at most ``n_blocks`` even spans."""
+    n_blocks = max(1, min(n_blocks, n_items))
+    bounds: list[tuple[int, int]] = []
+    base, extra = divmod(n_items, n_blocks)
+    lo = 0
+    for i in range(n_blocks):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class KernelThreadPool:
+    """Column-block worker pool shared across a backend's micro-batches.
+
+    Args:
+        n_threads: worker count (>= 2; a 1-thread "pool" is just serial
+            execution and callers skip the pool entirely).
+
+    Attributes:
+        tasks_run: column-block tasks executed (compute-thread counter,
+            read by the backend's metric flush).
+        dispatches: :meth:`run_blocks` calls that actually fanned out.
+    """
+
+    def __init__(self, n_threads: int) -> None:
+        if n_threads < 2:
+            raise ReproError(
+                f"KernelThreadPool needs >= 2 threads, got {n_threads}"
+            )
+        self.n_threads = int(n_threads)
+        self._lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None  # guarded-by: _lock
+        # Compute-thread-only counters: run_blocks is always called from
+        # the single compute thread, workers never touch these.
+        self.tasks_run = 0
+        self.dispatches = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.n_threads,
+                    thread_name_prefix="repro-kernel",
+                )
+            return self._executor
+
+    def run_blocks(
+        self, task: Callable[[int, int, int], None], n_items: int
+    ) -> int:
+        """Run ``task(worker_idx, lo, hi)`` over an even split of items.
+
+        Blocks until every task finished; a worker exception is
+        re-raised here (after all tasks settle, so no half-dispatched
+        state survives).  Returns the number of blocks executed.  With
+        fewer items than two per worker the call degrades to inline
+        serial execution — identical results either way.
+        """
+        bounds = block_bounds(n_items, self.n_threads)
+        if len(bounds) <= 1:
+            task(0, 0, n_items)
+            return 1
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(task, worker, lo, hi)
+            for worker, (lo, hi) in enumerate(bounds)
+        ]
+        errors = []
+        for future in futures:
+            try:
+                future.result()
+            except Exception as exc:  # re-raise after all settle
+                errors.append(exc)
+        self.tasks_run += len(bounds)
+        self.dispatches += 1
+        if errors:
+            raise errors[0]
+        return len(bounds)
+
+    def shutdown(self) -> None:
+        """Join the workers and drop the executor (idempotent)."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KernelThreadPool(n_threads={self.n_threads}, "
+            f"tasks_run={self.tasks_run})"
+        )

@@ -37,6 +37,7 @@ from repro.errors import ReproError
 from repro.gnn.block import Block
 from repro.graph.csr import CSRGraph
 from repro.graph.sampling import sample_batch
+from repro.kernels import resolve_backend, use_kernel_backend
 from repro.nn.module import Module
 from repro.obs.metrics import (
     LATENCY_SECONDS_BUCKETS,
@@ -91,6 +92,11 @@ class ServeEngine:
             sampling, dedup, and the feature gather still batch, and
             each computed node then runs a fixed-shape forward whose
             matmul shapes match serving it alone.
+        kernel_backend: bucket-aggregation backend for the bucketed
+            forwards ("reference" | "fused", see :mod:`repro.kernels`);
+            the engine scopes it around every batch's forward pass.
+        kernel_threads: worker threads for the fused backend's sharded
+            CSR execution (1 = serial; bit-for-bit at any count).
     """
 
     def __init__(
@@ -103,6 +109,8 @@ class ServeEngine:
         sampler_seed: int = 0,
         cache: EmbeddingCache | None = None,
         merged_forward: bool = False,
+        kernel_backend: str = "reference",
+        kernel_threads: int = 1,
     ) -> None:
         fanouts = tuple(int(f) for f in fanouts)
         if not fanouts or any(f < 1 for f in fanouts):
@@ -115,6 +123,9 @@ class ServeEngine:
         self.cutoffs = list(reversed(fanouts))
         self.sampler_seed = int(sampler_seed)
         self.merged_forward = bool(merged_forward)
+        self.kernel = resolve_backend(kernel_backend)
+        if kernel_threads != 1:
+            self.kernel.configure_execution(n_threads=kernel_threads)
         self.cache = EmbeddingCache() if cache is None else cache
         if hasattr(features, "gather"):
             self._gather_rows = features.gather
@@ -234,8 +245,18 @@ class ServeEngine:
                     dtype=FLOAT_DTYPE,
                 )
             )
-        with get_tracer().span("serve.forward"), no_grad():
-            logits = self.model(merged.blocks, feats, self.cutoffs).data
+        with get_tracer().span("serve.forward"), no_grad(), (
+            use_kernel_backend(self.kernel)
+        ):
+            # One batch = one bucket group: the fused backend's arena
+            # is recycled across batches, metrics flush per batch.
+            self.kernel.begin_group()
+            try:
+                logits = self.model(
+                    merged.blocks, feats, self.cutoffs
+                ).data
+            finally:
+                self.kernel.end_group()
         computed = [logits[i] for i in range(len(sampled))]
         return computed, merged.n_edges, merged.n_input_rows
 
@@ -269,17 +290,26 @@ class ServeEngine:
         computed: list[np.ndarray] = []
         n_edges = 0
         n_input_rows = 0
-        with get_tracer().span("serve.forward"), no_grad():
-            for (blocks, _), ids in zip(sampled, request_ids):
-                feats = Tensor(
-                    np.ascontiguousarray(
-                        gathered[np.searchsorted(union, ids)]
+        with get_tracer().span("serve.forward"), no_grad(), (
+            use_kernel_backend(self.kernel)
+        ):
+            # One batch = one bucket group (scratch reuse across the
+            # per-request forwards; forward-only, so no backward
+            # borrows from the arena past end_group).
+            self.kernel.begin_group()
+            try:
+                for (blocks, _), ids in zip(sampled, request_ids):
+                    feats = Tensor(
+                        np.ascontiguousarray(
+                            gathered[np.searchsorted(union, ids)]
+                        )
                     )
-                )
-                logits = self.model(blocks, feats, self.cutoffs).data
-                computed.append(logits[0])
-                n_edges += sum(b.n_edges for b in blocks)
-                n_input_rows += int(ids.size)
+                    logits = self.model(blocks, feats, self.cutoffs).data
+                    computed.append(logits[0])
+                    n_edges += sum(b.n_edges for b in blocks)
+                    n_input_rows += int(ids.size)
+            finally:
+                self.kernel.end_group()
         return computed, n_edges, n_input_rows
 
     def predict_batch(

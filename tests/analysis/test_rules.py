@@ -205,3 +205,30 @@ class TestMemmapCopy:
         result = project.lint(rules=["memmap-copy"])
         assert result.findings == []
         assert result.suppressed == 1
+
+
+class TestHotAlloc:
+    def test_flags_per_call_alloc_with_worker_guidance(self, project):
+        project.write(
+            "src/repro/kernels/bad_scratch.py",
+            "import numpy as np\n"
+            "def reduce_bucket(bucket, feats):\n"
+            "    out = np.zeros((4, 4), dtype=feats.dtype)\n"
+            "    return out\n",
+        )
+        result = project.lint(rules=["hot-alloc"])
+        assert rules_of(result.findings) == ["hot-alloc"]
+        assert "for_worker" in result.findings[0].message
+
+    def test_worker_subarena_request_passes(self, project):
+        project.write(
+            "src/repro/kernels/good_scratch.py",
+            "def reduce_block(workspace, worker, shape, dtype):\n"
+            "    scratch = workspace.for_worker(worker).request(\n"
+            "        'reduce.scratch', shape, dtype\n"
+            "    )\n"
+            "    scratch[:] = 0\n"
+            "    return scratch\n",
+        )
+        result = project.lint(rules=["hot-alloc"])
+        assert result.findings == []

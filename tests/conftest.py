@@ -1,0 +1,17 @@
+"""Suite-wide isolation.
+
+The fused kernel backend resolves a per-host calibration file at
+construction (``~/.cache/repro/kernel_calibration.json`` unless
+``REPRO_KERNEL_CALIBRATION`` overrides it).  Tests must not change
+behavior based on whether the developer has tuned their machine, so
+the whole suite points the default path at a nonexistent location —
+the backend silently falls back to the shipped crossover.  Tests that
+exercise calibration loading pass explicit paths.
+"""
+
+import os
+
+os.environ["REPRO_KERNEL_CALIBRATION"] = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "_no_such_kernel_calibration.json",
+)

@@ -1,0 +1,254 @@
+"""Threaded CSR execution: bit-for-bit vs serial, race discipline.
+
+Column-block sharding computes each output element in exactly one
+worker running the identical serial inner loop, so results must be
+**bitwise** equal to serial at any thread count — not allclose.  The
+suite drives every bucket boundary (empty, degree-1, cut-off) and the
+attention alpha-dot backward at 1/2/4 threads, then arms a
+:class:`RaceSentinel` on the pool during a full trainer run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.race import RaceSentinel
+from repro.bench.kernels import make_cutoff_bucket_workload
+from repro.kernels import FusedBackend, use_kernel_backend
+from repro.kernels.parallel import KernelThreadPool, block_bounds
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.tensor import Tensor
+
+THREAD_COUNTS = (1, 2, 4)
+
+
+def _serial_backend() -> FusedBackend:
+    return FusedBackend(dense_fallback_elements=0)
+
+
+def _threaded_backend(n_threads: int) -> FusedBackend:
+    return FusedBackend(
+        dense_fallback_elements=0,
+        n_threads=n_threads,
+        thread_min_work=0,
+    )
+
+
+def _reduce_case(backend, block, bucket, feats, op):
+    src = Tensor(feats, requires_grad=True)
+    with use_kernel_backend(backend):
+        backend.begin_group()
+        try:
+            out = backend.bucket_reduce(block, bucket, src, op)
+            out.backward(np.ones(out.shape, dtype=out.dtype))
+        finally:
+            backend.end_group()
+    return out.data, src.grad
+
+
+def _attention_case(backend, block, bucket, feats, alpha_data):
+    src = Tensor(feats, requires_grad=True)
+    alpha = Tensor(alpha_data, requires_grad=True)
+    with use_kernel_backend(backend):
+        backend.begin_group()
+        try:
+            out = backend.bucket_attention_sum(block, bucket, src, alpha)
+            out.backward(np.ones(out.shape, dtype=out.dtype))
+        finally:
+            backend.end_group()
+    return out.data, src.grad, alpha.grad
+
+
+# ----------------------------------------------------------------------
+# pool mechanics
+# ----------------------------------------------------------------------
+
+
+def test_block_bounds_cover_disjointly():
+    for n_items, n_blocks in [(10, 3), (3, 4), (0, 2), (64, 4), (7, 7)]:
+        bounds = block_bounds(n_items, n_blocks)
+        covered = []
+        for lo, hi in bounds:
+            assert 0 <= lo <= hi <= n_items
+            covered.extend(range(lo, hi))
+        assert covered == list(range(n_items))
+
+
+def test_pool_runs_all_blocks_and_propagates_errors():
+    pool = KernelThreadPool(2)
+    try:
+        seen = {}
+
+        def task(worker, lo, hi):
+            seen[(lo, hi)] = worker
+
+        pool.run_blocks(task, 8)
+        assert sum(hi - lo for lo, hi in seen) == 8
+
+        def boom(worker, lo, hi):
+            raise ValueError("bad block")
+
+        with pytest.raises(ValueError, match="bad block"):
+            pool.run_blocks(boom, 8)
+    finally:
+        pool.shutdown()
+
+
+def test_pool_rejects_single_thread():
+    with pytest.raises(Exception):
+        KernelThreadPool(1)
+
+
+# ----------------------------------------------------------------------
+# bit-for-bit differential: every bucket boundary x thread counts
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n_threads", THREAD_COUNTS)
+@pytest.mark.parametrize("op", ["sum", "mean"])
+def test_mixed_buckets_bitwise(mixed_block, n_threads, op):
+    """Empty, degree-1, and cut-off buckets all agree bitwise."""
+    block, buckets, feats = mixed_block
+    serial = _serial_backend()
+    threaded = _threaded_backend(n_threads)
+    try:
+        for bucket in buckets:
+            if op == "mean" and bucket.degree == 0:
+                continue  # mean over zero neighbors is undefined
+            s_out, s_grad = _reduce_case(serial, block, bucket, feats, op)
+            t_out, t_grad = _reduce_case(
+                threaded, block, bucket, feats, op
+            )
+            assert np.array_equal(s_out, t_out), (
+                f"degree-{bucket.degree} forward diverged"
+            )
+            assert np.array_equal(s_grad, t_grad), (
+                f"degree-{bucket.degree} input grad diverged"
+            )
+    finally:
+        threaded.close()
+
+
+@pytest.mark.parametrize("n_threads", THREAD_COUNTS)
+def test_cutoff_bucket_bitwise(cutoff_workload, n_threads):
+    wl = cutoff_workload
+    serial = _serial_backend()
+    threaded = _threaded_backend(n_threads)
+    try:
+        s_out, s_grad = _reduce_case(
+            serial, wl.block, wl.bucket, wl.feats, "sum"
+        )
+        t_out, t_grad = _reduce_case(
+            threaded, wl.block, wl.bucket, wl.feats, "sum"
+        )
+        assert np.array_equal(s_out, t_out)
+        assert np.array_equal(s_grad, t_grad)
+    finally:
+        threaded.close()
+
+
+@pytest.mark.parametrize("n_threads", THREAD_COUNTS)
+def test_attention_bitwise(mixed_block, n_threads):
+    """The alpha-dot backward shards over columns too — bitwise."""
+    block, buckets, feats = mixed_block
+    rng = np.random.default_rng(11)
+    serial = _serial_backend()
+    threaded = _threaded_backend(n_threads)
+    try:
+        for bucket in buckets:
+            alpha_data = rng.standard_normal(
+                (bucket.volume, bucket.degree)
+            ).astype(feats.dtype)
+            s = _attention_case(serial, block, bucket, feats, alpha_data)
+            t = _attention_case(
+                threaded, block, bucket, feats, alpha_data
+            )
+            for s_arr, t_arr, what in zip(
+                s, t, ("forward", "src grad", "alpha grad")
+            ):
+                assert np.array_equal(s_arr, t_arr), (
+                    f"degree-{bucket.degree} {what} diverged"
+                )
+    finally:
+        threaded.close()
+
+
+def test_threaded_reduces_metric_counts():
+    """Threads must actually engage (not silently run serial)."""
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    wl = make_cutoff_bucket_workload(
+        n_rows=128, degree=8, feat_dim=16, seed=0
+    )
+    threaded = _threaded_backend(2)
+    try:
+        _reduce_case(threaded, wl.block, wl.bucket, wl.feats, "sum")
+        snapshot = registry.snapshot()
+        assert snapshot["buffalo.kernel.threaded_reduces"]["value"] > 0
+        assert snapshot["buffalo.kernel.thread_tasks"]["value"] > 0
+    finally:
+        threaded.close()
+        set_metrics(previous)
+
+
+def test_min_work_threshold_keeps_small_buckets_serial():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    wl = make_cutoff_bucket_workload(
+        n_rows=16, degree=2, feat_dim=4, seed=0
+    )
+    backend = FusedBackend(
+        dense_fallback_elements=0, n_threads=2, thread_min_work=1 << 30
+    )
+    try:
+        _reduce_case(backend, wl.block, wl.bucket, wl.feats, "sum")
+        assert (
+            "buffalo.kernel.threaded_reduces" not in registry.snapshot()
+        )
+    finally:
+        backend.close()
+        set_metrics(previous)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: trainer under the race sentinel, threaded == serial
+# ----------------------------------------------------------------------
+
+
+def _train_losses(kernel_backend, seed=0):
+    from repro.core import BuffaloTrainer
+    from repro.datasets import load
+    from repro.device import SimulatedGPU
+    from repro.gnn.footprint import ModelSpec
+
+    dataset = load("ogbn_arxiv", scale=0.01, seed=seed)
+    spec = ModelSpec(
+        dataset.feat_dim, 16, dataset.n_classes, 2, "mean"
+    )
+    trainer = BuffaloTrainer(
+        dataset,
+        spec,
+        SimulatedGPU(capacity_bytes=1 << 30),
+        fanouts=[5, 5],
+        seed=seed,
+        kernel_backend=kernel_backend,
+    )
+    seeds = dataset.train_nodes[:96]
+    losses = trainer.train_epochs(2, seeds)
+    params = [p.data.copy() for p in trainer.model.parameters()]
+    return losses, params
+
+
+def test_trainer_threaded_bitwise_with_race_sentinel():
+    """--kernel-threads 4 end-to-end: bitwise parity, no race findings."""
+    serial_losses, serial_params = _train_losses(_serial_backend())
+    threaded = _threaded_backend(4)
+    try:
+        assert threaded._pool is not None
+        with RaceSentinel(threaded._pool) as sentinel:
+            threaded_losses, threaded_params = _train_losses(threaded)
+        assert sentinel.violations == []
+        assert threaded_losses == serial_losses
+        for s, t in zip(serial_params, threaded_params):
+            assert np.array_equal(s, t)
+    finally:
+        threaded.close()

@@ -1,0 +1,326 @@
+"""Calibration file contract + autotuner + calibrated dispatch.
+
+The load-path matrix is the point: every way a calibration file can be
+bad (missing, stale schema, corrupt CRC, wrong host, wrong backend
+version, a directory) must degrade to the shipped default crossover
+with exactly one :class:`CalibrationWarning` — never an exception.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bench.kernels import make_cutoff_bucket_workload
+from repro.kernels import (
+    Calibration,
+    CalibrationError,
+    CalibrationWarning,
+    FusedBackend,
+    default_calibration_path,
+    host_fingerprint,
+    load_calibration,
+    save_calibration,
+    tune_calibration,
+)
+from repro.kernels.fused import DENSE_FALLBACK_ELEMENTS
+from repro.kernels.tuning import (
+    BACKEND_VERSION,
+    THREAD_MIN_WORK_DEFAULT,
+    load_for_dispatch,
+)
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_metrics(fresh)
+    yield fresh
+    set_metrics(previous)
+
+
+def _calibration(**overrides) -> Calibration:
+    kwargs = dict(
+        host=host_fingerprint(),
+        crossovers={"float32": {8: 4096, 64: 16384}},
+        thread_min_work=1 << 14,
+        created_unix=0.0,
+    )
+    kwargs.update(overrides)
+    return Calibration(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# file round-trip
+# ----------------------------------------------------------------------
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "cal.json"
+    saved = _calibration()
+    save_calibration(saved, path)
+    loaded = load_calibration(path, expected_host=saved.host)
+    assert loaded.host == saved.host
+    assert loaded.crossovers == {"float32": {8: 4096, 64: 16384}}
+    assert loaded.thread_min_work == 1 << 14
+    assert loaded.backend_version == BACKEND_VERSION
+    assert loaded.source == str(path)
+
+
+def test_save_is_atomic_no_temp_left(tmp_path):
+    path = tmp_path / "cal.json"
+    save_calibration(_calibration(), path)
+    leftovers = [p.name for p in tmp_path.iterdir()]
+    assert leftovers == ["cal.json"]
+
+
+def test_default_path_honors_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(
+        "REPRO_KERNEL_CALIBRATION", str(tmp_path / "custom.json")
+    )
+    assert default_calibration_path() == tmp_path / "custom.json"
+
+
+# ----------------------------------------------------------------------
+# strict loader failure modes
+# ----------------------------------------------------------------------
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(CalibrationError, match="not found"):
+        load_calibration(tmp_path / "nope.json")
+
+
+def test_load_directory_raises(tmp_path):
+    with pytest.raises(CalibrationError, match="directory"):
+        load_calibration(tmp_path)
+
+
+def test_load_bad_json_raises(tmp_path):
+    path = tmp_path / "cal.json"
+    path.write_text("{not json")
+    with pytest.raises(CalibrationError, match="not valid JSON"):
+        load_calibration(path)
+
+
+def test_load_wrong_magic_raises(tmp_path):
+    path = tmp_path / "cal.json"
+    path.write_text(json.dumps({"magic": "something-else"}))
+    with pytest.raises(CalibrationError, match="magic"):
+        load_calibration(path)
+
+
+def test_load_stale_schema_raises(tmp_path):
+    path = tmp_path / "cal.json"
+    save_calibration(_calibration(), path)
+    payload = json.loads(path.read_text())
+    payload["schema_version"] = 999
+    path.write_text(json.dumps(payload))
+    with pytest.raises(CalibrationError, match="stale schema"):
+        load_calibration(path)
+
+
+def test_load_corrupt_crc_raises(tmp_path):
+    path = tmp_path / "cal.json"
+    save_calibration(_calibration(), path)
+    payload = json.loads(path.read_text())
+    payload["thread_min_work"] = 7  # body changed, CRC not recomputed
+    path.write_text(json.dumps(payload))
+    with pytest.raises(CalibrationError, match="CRC"):
+        load_calibration(path)
+
+
+def test_load_backend_version_mismatch_raises(tmp_path):
+    path = tmp_path / "cal.json"
+    save_calibration(
+        _calibration(backend_version=BACKEND_VERSION - 1), path
+    )
+    with pytest.raises(CalibrationError, match="backend"):
+        load_calibration(path)
+
+
+def test_load_host_mismatch_raises(tmp_path):
+    path = tmp_path / "cal.json"
+    save_calibration(_calibration(host="feedfacedeadbeef"), path)
+    with pytest.raises(CalibrationError, match="host"):
+        load_calibration(path, expected_host=host_fingerprint())
+
+
+# ----------------------------------------------------------------------
+# dispatch loader: every degraded path -> default + single warning
+# ----------------------------------------------------------------------
+
+
+def test_dispatch_load_ok(tmp_path):
+    path = tmp_path / "cal.json"
+    save_calibration(_calibration(), path)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        calibration, status = load_for_dispatch(path, explicit=True)
+    assert status == "loaded"
+    assert calibration is not None
+
+
+def test_dispatch_explicit_missing_warns_once(tmp_path):
+    with pytest.warns(CalibrationWarning) as caught:
+        calibration, status = load_for_dispatch(
+            tmp_path / "nope.json", explicit=True
+        )
+    assert (calibration, status) == (None, "miss")
+    assert len(caught) == 1
+
+
+def test_dispatch_implicit_missing_is_silent(tmp_path, monkeypatch):
+    monkeypatch.setenv(
+        "REPRO_KERNEL_CALIBRATION", str(tmp_path / "nope.json")
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        calibration, status = load_for_dispatch(None)
+    assert (calibration, status) == (None, "miss")
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    ["schema", "crc", "host", "backend", "directory"],
+)
+def test_dispatch_degraded_paths_warn_once(tmp_path, corruption):
+    path = tmp_path / "cal.json"
+    if corruption == "directory":
+        path.mkdir()
+    elif corruption == "host":
+        save_calibration(_calibration(host="feedfacedeadbeef"), path)
+    elif corruption == "backend":
+        save_calibration(
+            _calibration(backend_version=BACKEND_VERSION - 1), path
+        )
+    else:
+        save_calibration(_calibration(), path)
+        payload = json.loads(path.read_text())
+        if corruption == "schema":
+            payload["schema_version"] = 999
+        else:
+            payload["thread_min_work"] = 7
+        path.write_text(json.dumps(payload))
+    with pytest.warns(CalibrationWarning) as caught:
+        calibration, status = load_for_dispatch(path, explicit=True)
+    assert (calibration, status) == (None, "stale")
+    assert len(caught) == 1
+
+
+# ----------------------------------------------------------------------
+# crossover lookup
+# ----------------------------------------------------------------------
+
+
+def test_crossover_exact_band():
+    cal = _calibration()
+    assert cal.crossover_for(np.float32, 8) == 4096
+    assert cal.crossover_for(np.float32, 64) == 16384
+
+
+def test_crossover_nearest_band():
+    cal = _calibration()
+    # 24 -> band 32: log2-nearest measured band is 64 (|5-6| < |5-3|).
+    assert cal.crossover_for(np.float32, 24) == 16384
+    # 2 -> band 2: nearest measured band is 8.
+    assert cal.crossover_for(np.float32, 2) == 4096
+
+
+def test_crossover_unmeasured_dtype_is_none():
+    cal = _calibration()
+    assert cal.crossover_for(np.float64, 64) is None
+
+
+# ----------------------------------------------------------------------
+# backend integration
+# ----------------------------------------------------------------------
+
+
+def test_backend_loads_calibration_and_counts(tmp_path, registry):
+    path = tmp_path / "cal.json"
+    save_calibration(_calibration(), path)
+    backend = FusedBackend(calibration_path=path)
+    assert backend.calibration_status == "loaded"
+    assert backend.thread_min_work == 1 << 14
+    snapshot = registry.snapshot()
+    assert snapshot["buffalo.kernel.calibration_loaded"]["value"] == 1
+
+
+def test_backend_counts_stale(tmp_path, registry):
+    path = tmp_path / "cal.json"
+    path.write_text("{not json")
+    with pytest.warns(CalibrationWarning):
+        backend = FusedBackend(calibration_path=path)
+    assert backend.calibration_status == "stale"
+    assert backend.calibration is None
+    snapshot = registry.snapshot()
+    assert snapshot["buffalo.kernel.calibration_stale"]["value"] == 1
+
+
+def test_backend_counts_miss(tmp_path, registry):
+    with pytest.warns(CalibrationWarning):
+        backend = FusedBackend(calibration_path=tmp_path / "nope.json")
+    assert backend.calibration_status == "miss"
+    snapshot = registry.snapshot()
+    assert snapshot["buffalo.kernel.calibration_miss"]["value"] == 1
+
+
+def test_explicit_crossover_skips_calibration(tmp_path, registry):
+    backend = FusedBackend(dense_fallback_elements=123)
+    assert backend.calibration_status == "fixed"
+    assert backend.dense_fallback_elements == 123
+    assert not any(
+        "calibration" in name for name in registry.snapshot()
+    )
+
+
+def test_calibration_changes_dispatch_decision():
+    """A synthetic calibration must actually flip the dense/CSR choice."""
+    workload = make_cutoff_bucket_workload(
+        n_rows=64, degree=6, feat_dim=8, seed=3
+    )
+    work = workload.bucket.n_edges * 8  # 3072 elements
+    assert work < DENSE_FALLBACK_ELEMENTS  # default routes it dense
+    default_backend = FusedBackend(
+        dense_fallback_elements=DENSE_FALLBACK_ELEMENTS
+    )
+    tuned_backend = FusedBackend(
+        calibration=_calibration(crossovers={"float32": {8: 1}})
+    )
+    src = Tensor(workload.feats)
+    assert default_backend._prefers_dense(workload.bucket, src)
+    assert not tuned_backend._prefers_dense(workload.bucket, src)
+
+
+def test_configure_execution_reloads(tmp_path, registry):
+    path = tmp_path / "cal.json"
+    save_calibration(_calibration(thread_min_work=77), path)
+    backend = FusedBackend(dense_fallback_elements=0)
+    backend.configure_execution(calibration_path=path)
+    assert backend.calibration_status == "loaded"
+    assert backend.thread_min_work == 77
+
+
+# ----------------------------------------------------------------------
+# the tuner
+# ----------------------------------------------------------------------
+
+
+def test_tuner_produces_valid_calibration(tmp_path):
+    cal = tune_calibration(
+        feat_dims=(8,), repeats=1, max_elements=1 << 13
+    )
+    assert cal.host == host_fingerprint()
+    assert cal.backend_version == BACKEND_VERSION
+    assert set(cal.crossovers) == {"float32"}
+    assert set(cal.crossovers["float32"]) == {8}
+    assert cal.crossovers["float32"][8] > 0
+    assert cal.thread_min_work == THREAD_MIN_WORK_DEFAULT
+    # And it round-trips through the file contract.
+    path = save_calibration(cal, tmp_path / "cal.json")
+    loaded = load_calibration(path, expected_host=cal.host)
+    assert loaded.crossovers == cal.crossovers
